@@ -1,0 +1,85 @@
+/// Ablation: parallel file mode — MIF N (one file per task, AMReX's N-to-N
+/// default and the paper's configuration), grouped MIF n < N, and SIF (single
+/// shared file). Compares file counts, metadata pressure, and the burst
+/// timeline each mode produces on the PFS model.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "macsio/driver.hpp"
+#include "pfs/timeline.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace amrio;
+  const auto ctx = bench::parse_bench_args(
+      argc, argv, "ablate_filemode",
+      "ablation: MIF width / SIF vs files and burst behaviour");
+  bench::banner("Ablation — parallel_file_mode: MIF N vs MIF n vs SIF",
+                "paper Table II / Listing 1 (MIF nproc) design point");
+
+  const int nprocs = ctx.full ? 64 : 32;
+  macsio::Params base;
+  base.nprocs = nprocs;
+  base.num_dumps = 8;
+  base.part_size = 4 << 20;
+  base.compute_time = 10.0;
+
+  pfs::SimFsConfig fscfg;
+  fscfg.n_ost = 16;
+  fscfg.ost_bandwidth = 1e9;
+  fscfg.client_bandwidth = 2e9;
+  fscfg.mds_latency = 2e-3;  // metadata cost is where file counts bite
+
+  struct Mode {
+    std::string label;
+    macsio::FileMode mode;
+    int mif_files;
+  };
+  const std::vector<Mode> modes{
+      {"MIF N (N-to-N)", macsio::FileMode::kMif, 0},
+      {"MIF N/4", macsio::FileMode::kMif, nprocs / 4},
+      {"MIF 2", macsio::FileMode::kMif, 2},
+      {"SIF", macsio::FileMode::kSif, 0},
+  };
+
+  util::TextTable table({"mode", "files", "total bytes", "io makespan/dump",
+                         "peak BW", "duty cycle"});
+  util::CsvWriter csv(bench::csv_path(ctx, "ablate_filemode.csv"));
+  csv.header({"mode", "files", "total_bytes", "busy_time", "peak_bw",
+              "duty_cycle"});
+  std::map<std::string, double> busy;
+  for (const auto& mode : modes) {
+    auto params = base;
+    params.file_mode = mode.mode;
+    params.mif_files = mode.mif_files;
+    pfs::MemoryBackend be(false);
+    const auto stats = macsio::run_macsio(params, be);
+    pfs::SimFs fs(fscfg);
+    const auto burst = pfs::burst_stats(fs.run(stats.requests));
+    busy[mode.label] = burst.busy_time;
+    table.add_row({mode.label, std::to_string(stats.nfiles),
+                   util::human_bytes(stats.total_bytes),
+                   util::format_g(burst.busy_time / base.num_dumps, 4) + "s",
+                   util::format_g(burst.peak_bandwidth / 1e9, 4) + " GB/s",
+                   util::format_g(100 * burst.duty_cycle, 3) + "%"});
+    csv.field(mode.label)
+        .field(stats.nfiles)
+        .field(stats.total_bytes)
+        .field(burst.busy_time)
+        .field(burst.peak_bandwidth)
+        .field(burst.duty_cycle);
+    csv.endrow();
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "\nreading: N-to-N pays metadata (one create per task per dump) but\n"
+      "parallelizes data; narrow MIF and SIF serialize group members behind\n"
+      "a baton, stretching each burst — why AMReX defaults to N-to-N and the\n"
+      "paper models that mode.\n");
+  const bool ok = busy["SIF"] >= busy["MIF N (N-to-N)"];
+  std::printf("shape check (SIF bursts at least as long as N-to-N): %s\n",
+              ok ? "OK" : "MISMATCH");
+  std::printf("csv: %s\n", csv.path().c_str());
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,77 @@
+/// Ablation: MACSio output interface (miftmpl json vs h5lite binary vs raw).
+/// The paper attributes the Eq. (3) correction factor f to "the difference in
+/// nature of the MACSio json-based output and AMReX output file formats";
+/// this ablation shows exactly how f moves when the interface changes.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/amrio.hpp"
+#include "macsio/interfaces.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace amrio;
+  const auto ctx = bench::parse_bench_args(
+      argc, argv, "ablate_interface",
+      "ablation: output interface vs Eq. (3) correction factor");
+  bench::banner("Ablation — MACSio interface vs Eq. (3) correction factor f",
+                "paper Eq. (3) discussion (json vs binary formats)");
+
+  // one reference AMR run to fit against
+  core::CaseConfig config;
+  config.name = "iface_ref";
+  config.ncell = ctx.full ? 256 : 128;
+  config.max_level = 2;
+  config.max_step = 10;
+  config.plot_int = 10;
+  config.nprocs = 16;
+  config.max_grid_size = config.ncell / 8;
+  const auto run = core::run_case(config);
+  const double target = run.total.per_step.front();
+  std::printf("reference first output: %s (%d^2 L0, %d levels, %d ranks)\n\n",
+              util::format_g(target, 6).c_str(), config.ncell, run.nlevels,
+              config.nprocs);
+
+  util::TextTable table({"interface", "bytes per raw double", "part_size",
+                         "Eq.3 f", "fit rel err"});
+  util::CsvWriter csv(bench::csv_path(ctx, "ablate_interface.csv"));
+  csv.header({"interface", "part_size", "f", "rel_err"});
+
+  std::map<macsio::Interface, double> fs;
+  for (auto iface : {macsio::Interface::kMiftmpl, macsio::Interface::kH5Lite,
+                     macsio::Interface::kRaw}) {
+    macsio::Params base = model::static_translation(run.inputs);
+    base.interface = iface;
+    const auto fit = model::fit_part_size(base, target, run.inputs.ncells0());
+    fs[iface] = fit.f;
+    // serialized bytes per raw 8-byte double for this interface
+    const auto plugin = macsio::make_interface(iface);
+    const auto spec = macsio::make_part_spec(800000, 1);
+    const double per_double =
+        static_cast<double>(plugin->task_doc_bytes(spec, 0, 0, 1, 0)) /
+        static_cast<double>(spec.total_values());
+    table.add_row({macsio::to_string(iface), util::format_g(per_double, 4),
+                   std::to_string(fit.part_size), util::format_g(fit.f, 5),
+                   util::format_g(fit.rel_error, 3)});
+    csv.field(macsio::to_string(iface))
+        .field(fit.part_size)
+        .field(fit.f)
+        .field(fit.rel_error);
+    csv.endrow();
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  const double ratio =
+      fs[macsio::Interface::kRaw] / fs[macsio::Interface::kMiftmpl];
+  std::printf(
+      "\nf(raw)/f(json) = %.2f — the json interface needs a ~3x smaller\n"
+      "part_size request because each double serializes to 24 text bytes;\n"
+      "with a binary interface f converges toward the pure variable-count\n"
+      "ratio. This is the format effect the paper folds into f ≈ 23-25.\n",
+      ratio);
+  const bool ok = ratio > 2.5 && ratio < 3.5;
+  std::printf("shape check (json inflation ≈ 3x): %s\n", ok ? "OK" : "MISMATCH");
+  std::printf("csv: %s\n", csv.path().c_str());
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,68 @@
+#pragma once
+/// \file bench_common.hpp
+/// Shared plumbing for the figure/table reproduction benches: output
+/// directory handling, CSV emission, and the `--full` switch that moves a
+/// bench from laptop scale toward paper scale.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/format.hpp"
+#include "util/path.hpp"
+
+namespace amrio::bench {
+
+struct BenchContext {
+  bool full = false;       ///< --full: run closer to paper scale
+  double scale = 0.0;      ///< explicit --scale overrides presets
+  std::string out_dir = "bench_results";
+
+  double pick_scale(double dflt, double full_scale) const {
+    if (scale > 0.0) return scale;
+    return full ? full_scale : dflt;
+  }
+};
+
+inline BenchContext parse_bench_args(int argc, char** argv,
+                                     const std::string& name,
+                                     const std::string& what) {
+  util::ArgParser cli(name, what);
+  cli.add_flag("full", "run closer to paper scale (slower)");
+  cli.add_option("scale", "explicit mesh scale in (0,1]", 1);
+  cli.add_option("out", "output directory for CSV", 1,
+                 std::string("bench_results"));
+  cli.add_flag("help", "show usage");
+  cli.parse(argc, argv);
+  if (cli.flag("help")) {
+    std::printf("%s", cli.usage().c_str());
+    std::exit(0);
+  }
+  BenchContext ctx;
+  ctx.full = cli.flag("full");
+  ctx.scale = cli.get_double_or("scale", 0.0);
+  if (ctx.scale == 0.0) {
+    if (const char* env = std::getenv("AMRIO_SCALE")) {
+      const double v = std::atof(env);
+      if (v > 0.0 && v <= 1.0) ctx.scale = v;
+    }
+  }
+  ctx.out_dir = cli.get("out");
+  util::make_dirs(ctx.out_dir);
+  return ctx;
+}
+
+inline std::string csv_path(const BenchContext& ctx, const std::string& name) {
+  return util::path_join(ctx.out_dir, name);
+}
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace amrio::bench

@@ -1,0 +1,93 @@
+/// Fig. 6 reproduction: dependency of the cumulative output size on the CFL
+/// number and the number of AMR levels for the pivot case4 (paper: 512² L0,
+/// 32 tasks on 2 Summit nodes). Shape target: max_level dominates, CFL is a
+/// secondary effect.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/amrio.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace amrio;
+  const auto ctx = bench::parse_bench_args(
+      argc, argv, "fig06_cfl_levels",
+      "Fig. 6: CFL and max_level dependency of cumulative output");
+  bench::banner("Fig. 6 — cumulative output vs CFL number and AMR levels",
+                "paper Fig. 6 (case4: 512^2 L0, 32 tasks)");
+
+  const double scale = ctx.pick_scale(0.25, 0.5);
+  std::vector<util::Series> series;
+  util::TextTable table(
+      {"cfl", "max_level", "levels", "outputs", "final cumulative bytes"});
+  util::CsvWriter csv(bench::csv_path(ctx, "fig06_cfl_levels.csv"));
+  csv.header({"cfl", "max_level", "x", "cumulative_bytes"});
+
+  struct Variant {
+    double cfl;
+    int max_level;
+  };
+  std::vector<Variant> variants;
+  for (double cfl : {0.3, 0.4, 0.5, 0.6})
+    for (int maxl : {2, 4}) variants.push_back({cfl, maxl});
+
+  std::map<std::pair<double, int>, double> final_bytes;
+  for (const auto& v : variants) {
+    auto config = core::case4(scale);
+    config.name = "case4_cfl" + util::format_g(v.cfl, 2) + "_maxl" +
+                  std::to_string(v.max_level);
+    config.cfl = v.cfl;
+    config.max_level = v.max_level;
+    if (!ctx.full) {  // trim steps to keep the 8-run sweep quick
+      config.max_step = 120;
+      config.plot_int = 6;
+    }
+    const auto run = core::run_case(config);
+    series.push_back(util::Series{config.name, run.total.x, run.total.y});
+    table.add_row({util::format_g(v.cfl, 2), std::to_string(v.max_level),
+                   std::to_string(run.nlevels),
+                   std::to_string(run.total.steps.size()),
+                   util::format_g(run.total.y.back(), 5)});
+    final_bytes[{v.cfl, v.max_level}] = run.total.y.back();
+    for (std::size_t i = 0; i < run.total.x.size(); ++i) {
+      csv.field(v.cfl)
+          .field(static_cast<std::int64_t>(v.max_level))
+          .field(run.total.x[i])
+          .field(run.total.y[i]);
+      csv.endrow();
+    }
+  }
+
+  util::PlotOptions opts;
+  opts.height = 22;
+  opts.title = "cumulative output size vs x, by (cfl, max_level)";
+  opts.x_label = "output_counter * ncells";
+  opts.y_label = "bytes";
+  std::printf("%s\n", util::plot_xy(series, opts).c_str());
+  std::printf("%s", table.to_string().c_str());
+
+  // Shape targets (paper: "while the CFL number has some influence ... the
+  // number of AMR levels has a larger effect"):
+  double cfl_effect = 0.0;
+  double level_effect = 0.0;
+  for (int maxl : {2, 4}) {
+    const double lo = final_bytes[{0.3, maxl}];
+    const double hi = final_bytes[{0.6, maxl}];
+    cfl_effect = std::max(cfl_effect, std::abs(hi - lo) / lo);
+  }
+  for (double cfl : {0.3, 0.6}) {
+    const double lo = final_bytes[{cfl, 2}];
+    const double hi = final_bytes[{cfl, 4}];
+    level_effect = std::max(level_effect, std::abs(hi - lo) / lo);
+  }
+  std::printf("\nmax relative effect of CFL (0.3→0.6): %.1f%%\n",
+              100 * cfl_effect);
+  std::printf("max relative effect of max_level (2→4): %.1f%%\n",
+              100 * level_effect);
+  const bool ok = level_effect > cfl_effect;
+  std::printf("shape check (levels dominate CFL): %s\n", ok ? "OK" : "MISMATCH");
+  std::printf("csv: %s\n", csv.path().c_str());
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,89 @@
+/// Table III reproduction: the parameterized Sedov campaign. The paper ran 47
+/// configurations on Summit spanning max_step 40–1000, n_cell 32²–131072²,
+/// max_level 2–4, plot_int 1–20, cfl 0.3–0.6, nprocs 1–1024. This bench runs
+/// the scaled matrix and prints the realized ranges plus a per-case inventory.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/amrio.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace amrio;
+  const auto ctx = bench::parse_bench_args(
+      argc, argv, "table3_campaign", "Table III: campaign parameter ranges");
+  bench::banner("Table III — parameterized Sedov campaign",
+                "paper Table III (47 Summit runs; scaled matrix here)");
+
+  const double scale = ctx.pick_scale(0.25, 0.5);
+  auto cases = core::table3_campaign(scale);
+  // keep bench wall time sane at default scale
+  if (!ctx.full && cases.size() > 30) cases.resize(30);
+  std::printf("running %zu cases at scale %.3f...\n\n", cases.size(), scale);
+
+  util::WallTimer timer;
+  const auto runs = core::run_campaign(cases);
+
+  // realized ranges
+  auto minmax_i = [&](auto getter) {
+    auto lo = getter(runs.front());
+    auto hi = lo;
+    for (const auto& r : runs) {
+      lo = std::min(lo, getter(r));
+      hi = std::max(hi, getter(r));
+    }
+    return std::pair{lo, hi};
+  };
+  const auto steps = minmax_i([](const core::RunRecord& r) { return r.config.max_step; });
+  const auto cells = minmax_i([](const core::RunRecord& r) { return r.config.ncell; });
+  const auto levels = minmax_i([](const core::RunRecord& r) { return r.config.max_level + 1; });
+  const auto pint = minmax_i([](const core::RunRecord& r) { return r.config.plot_int; });
+  const auto cfl = minmax_i([](const core::RunRecord& r) { return r.config.cfl; });
+  const auto ranks = minmax_i([](const core::RunRecord& r) { return r.config.nprocs; });
+
+  util::TextTable ranges({"parameter", "paper range", "this campaign"});
+  ranges.add_row({"amr.max_step", "40 - 1000",
+                  std::to_string(steps.first) + " - " + std::to_string(steps.second)});
+  ranges.add_row({"amr.n_cell", "(32x32) - (131072x131072)",
+                  std::to_string(cells.first) + "² - " + std::to_string(cells.second) + "²"});
+  ranges.add_row({"amr.max_level (levels)", "2 - 4",
+                  std::to_string(levels.first) + " - " + std::to_string(levels.second)});
+  ranges.add_row({"amr.plot_int", "1 - 20",
+                  std::to_string(pint.first) + " - " + std::to_string(pint.second)});
+  ranges.add_row({"castro.cfl", "0.3 - 0.6",
+                  util::format_g(cfl.first, 3) + " - " + util::format_g(cfl.second, 3)});
+  ranges.add_row({"nprocs", "1 - 1024",
+                  std::to_string(ranks.first) + " - " + std::to_string(ranks.second)});
+  std::printf("%s\n", ranges.to_string().c_str());
+
+  util::TextTable inv({"case", "ncell", "levels", "plot_int", "cfl", "nprocs",
+                       "outputs", "files", "total bytes"});
+  util::CsvWriter csv(bench::csv_path(ctx, "table3_campaign.csv"));
+  csv.header({"case", "ncell", "max_level", "plot_int", "cfl", "nprocs",
+              "outputs", "nfiles", "total_bytes", "wall_seconds"});
+  for (const auto& r : runs) {
+    inv.add_row({r.config.name, std::to_string(r.config.ncell),
+                 std::to_string(r.nlevels), std::to_string(r.config.plot_int),
+                 util::format_g(r.config.cfl, 3), std::to_string(r.config.nprocs),
+                 std::to_string(r.total.steps.size()), std::to_string(r.nfiles),
+                 std::to_string(r.total_bytes)});
+    csv.field(r.config.name)
+        .field(static_cast<std::int64_t>(r.config.ncell))
+        .field(static_cast<std::int64_t>(r.config.max_level))
+        .field(r.config.plot_int)
+        .field(r.config.cfl)
+        .field(static_cast<std::int64_t>(r.config.nprocs))
+        .field(static_cast<std::uint64_t>(r.total.steps.size()))
+        .field(r.nfiles)
+        .field(r.total_bytes)
+        .field(r.wall_seconds);
+    csv.endrow();
+  }
+  std::printf("%s", inv.to_string().c_str());
+  std::printf("\ncampaign wall time: %.1fs; csv: %s\n", timer.elapsed(),
+              csv.path().c_str());
+  return 0;
+}

@@ -1,0 +1,95 @@
+/// \file io_burstiness.cpp
+/// The "dynamic" study the paper positions the calibrated proxy for: replay a
+/// calibrated MACSio workload through the parallel-filesystem simulator and
+/// study burstiness, bandwidth, and file-system variability — the
+/// compute-then-burst pattern of classic HPC checkpoint/analysis output.
+
+#include <cstdio>
+
+#include "core/amrio.hpp"
+#include "pfs/timeline.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace amrio;
+  util::ArgParser cli("io_burstiness",
+                      "replay a calibrated proxy workload through the PFS model");
+  cli.add_option("nprocs", "virtual ranks", 1, std::string("32"));
+  cli.add_option("compute_time", "seconds of compute between dumps", 1,
+                 std::string("5"));
+  cli.add_option("osts", "number of OSTs in the PFS model", 1,
+                 std::string("16"));
+  cli.add_option("sigma", "lognormal service-time variability", 1,
+                 std::string("0.3"));
+  cli.add_option("amplify", "part_size multiplier to emulate larger machines",
+                 1, std::string("2000"));
+  cli.add_flag("help", "show usage");
+  cli.parse(argc, argv);
+  if (cli.flag("help")) {
+    std::printf("%s", cli.usage().c_str());
+    return 0;
+  }
+
+  // 1. Calibrate a proxy from a small AMR run.
+  core::CaseConfig config;
+  config.name = "burst";
+  config.ncell = 96;
+  config.max_level = 2;
+  config.max_step = 50;
+  config.plot_int = 5;
+  config.nprocs = static_cast<int>(cli.get_int("nprocs"));
+  config.max_grid_size = 24;
+  std::printf("calibrating proxy from a %d^2 Sedov run on %d ranks...\n",
+              config.ncell, config.nprocs);
+  const auto run = core::run_case(config);
+  auto v = core::calibrate_and_validate(run, 1.0, 1.2);
+
+  // 2. Execute the proxy with the requested burst spacing. The proxy's whole
+  //    point is extrapolation: amplify part_size to emulate the paper-scale
+  //    machine without rerunning the application.
+  auto params = v.translation.params;
+  params.compute_time = cli.get_double("compute_time");
+  params.part_size *= static_cast<std::uint64_t>(cli.get_int("amplify"));
+  pfs::MemoryBackend backend(false);
+  const auto stats = macsio::run_macsio(params, backend);
+  std::printf("proxy (part_size amplified x%lld): %d dumps, %s total, dumps "
+              "every %.1fs of compute\n\n",
+              static_cast<long long>(cli.get_int("amplify")), params.num_dumps,
+              util::human_bytes(stats.total_bytes).c_str(),
+              params.compute_time);
+
+  // 3. Replay through PFS models of varying richness.
+  util::TextTable table({"OSTs", "sigma", "makespan", "duty cycle",
+                         "mean BW", "peak BW", "p95 task time"});
+  for (int osts : {4, static_cast<int>(cli.get_int("osts")), 64}) {
+    for (double sigma : {0.0, cli.get_double("sigma")}) {
+      pfs::SimFsConfig cfg;
+      cfg.n_ost = osts;
+      cfg.ost_bandwidth = 0.5e9;
+      cfg.client_bandwidth = 1.0e9;
+      cfg.variability_sigma = sigma;
+      cfg.mds_latency = 1e-3;
+      pfs::SimFs fs(cfg);
+      const auto results = fs.run(stats.requests);
+      const auto burst = pfs::burst_stats(results);
+      std::vector<double> durations;
+      for (const auto& r : results) durations.push_back(r.duration());
+      table.add_row({std::to_string(osts), util::format_g(sigma, 3),
+                     util::format_g(burst.makespan, 4) + "s",
+                     util::format_g(100 * burst.duty_cycle, 3) + "%",
+                     util::format_g(burst.mean_bandwidth / 1e9, 3) + " GB/s",
+                     util::format_g(burst.peak_bandwidth / 1e9, 3) + " GB/s",
+                     util::format_g(util::percentile(durations, 0.95), 3) + "s"});
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nreading the table: more OSTs → higher peak bandwidth and\n"
+              "lower duty cycle (burstier relative to capacity); service-time\n"
+              "variability stretches the per-task tail (p95) without moving\n"
+              "the mean — the \"dynamic and random system characteristics\"\n"
+              "the paper defers to proxy-driven studies.\n");
+  return 0;
+}

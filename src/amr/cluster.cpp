@@ -1,0 +1,194 @@
+#include "amr/cluster.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/assert.hpp"
+
+namespace amrio::amr {
+
+namespace {
+
+mesh::Box bounding(const std::vector<mesh::IntVect>& tags) {
+  mesh::Box b;
+  for (const auto& t : tags)
+    b = bounding_box(b, mesh::Box(t, t));
+  return b;
+}
+
+/// Tag count along `dir` within box `b` ("signature" of Berger–Rigoutsos).
+std::vector<int> signature(const std::vector<mesh::IntVect>& tags,
+                           const mesh::Box& b, int dir) {
+  std::vector<int> sig(static_cast<std::size_t>(b.length(dir)), 0);
+  for (const auto& t : tags)
+    ++sig[static_cast<std::size_t>(t[dir] - b.lo(dir))];
+  return sig;
+}
+
+/// Best split index within [lo+1, hi] along dir, or -1 when no good cut.
+/// Preference: interior hole in the signature, then the strongest inflection
+/// of its discrete Laplacian, as in the original BR algorithm.
+int choose_cut(const std::vector<int>& sig, int lo) {
+  const int n = static_cast<int>(sig.size());
+  // Holes (zero signature) — take the one closest to the middle.
+  int best_hole = -1;
+  for (int i = 1; i < n - 1; ++i) {
+    if (sig[static_cast<std::size_t>(i)] == 0) {
+      if (best_hole < 0 ||
+          std::abs(i - n / 2) < std::abs(best_hole - n / 2))
+        best_hole = i;
+    }
+  }
+  if (best_hole >= 0) return lo + best_hole;
+
+  // Inflections: find the largest jump in the second difference.
+  if (n >= 4) {
+    auto lap = [&sig](int i) {
+      return sig[static_cast<std::size_t>(i + 1)] -
+             2 * sig[static_cast<std::size_t>(i)] +
+             sig[static_cast<std::size_t>(i - 1)];
+    };
+    int best = -1;
+    int best_mag = 0;
+    for (int i = 1; i < n - 2; ++i) {
+      const int change = std::abs(lap(i + 1) - lap(i));
+      if (lap(i + 1) * lap(i) < 0 && change > best_mag) {
+        best_mag = change;
+        best = i + 1;
+      }
+    }
+    if (best > 0 && best < n) return lo + best;
+  }
+  return -1;
+}
+
+void cluster_recursive(std::vector<mesh::IntVect> tags, double efficiency,
+                       int min_width, int depth, std::vector<mesh::Box>& out) {
+  if (tags.empty()) return;
+  const mesh::Box bbox = bounding(tags);
+  const double eff =
+      static_cast<double>(tags.size()) / static_cast<double>(bbox.num_pts());
+  const bool too_small =
+      bbox.length(0) <= min_width && bbox.length(1) <= min_width;
+  if (eff >= efficiency || too_small || depth > 48) {
+    out.push_back(bbox);
+    return;
+  }
+
+  // Try a signature cut in the longer direction first.
+  int cut_dir = bbox.length(0) >= bbox.length(1) ? 0 : 1;
+  int cut = -1;
+  for (int attempt = 0; attempt < 2 && cut < 0; ++attempt) {
+    const int d = (attempt == 0) ? cut_dir : 1 - cut_dir;
+    if (bbox.length(d) < 2 * min_width) continue;
+    const auto sig = signature(tags, bbox, d);
+    const int c = choose_cut(sig, bbox.lo(d));
+    // keep both halves at least min_width wide
+    if (c >= bbox.lo(d) + min_width && c <= bbox.hi(d) + 1 - min_width) {
+      cut = c;
+      cut_dir = d;
+    }
+  }
+  if (cut < 0) {
+    // Fallback: bisect the longer dimension.
+    cut_dir = bbox.length(0) >= bbox.length(1) ? 0 : 1;
+    if (bbox.length(cut_dir) < 2) {
+      out.push_back(bbox);
+      return;
+    }
+    cut = bbox.lo(cut_dir) + static_cast<int>(bbox.length(cut_dir) / 2);
+  }
+
+  std::vector<mesh::IntVect> left;
+  std::vector<mesh::IntVect> right;
+  for (const auto& t : tags) {
+    if (t[cut_dir] < cut) left.push_back(t);
+    else right.push_back(t);
+  }
+  if (left.empty() || right.empty()) {
+    out.push_back(bbox);  // degenerate cut; accept as-is
+    return;
+  }
+  tags.clear();
+  tags.shrink_to_fit();
+  cluster_recursive(std::move(left), efficiency, min_width, depth + 1, out);
+  cluster_recursive(std::move(right), efficiency, min_width, depth + 1, out);
+}
+
+}  // namespace
+
+std::vector<mesh::Box> berger_rigoutsos(std::vector<mesh::IntVect> tags,
+                                        double efficiency, int min_width) {
+  AMRIO_EXPECTS(efficiency > 0.0 && efficiency <= 1.0);
+  AMRIO_EXPECTS(min_width >= 1);
+  std::vector<mesh::Box> out;
+  cluster_recursive(std::move(tags), efficiency, min_width, 0, out);
+  return out;
+}
+
+mesh::BoxArray make_fine_grids(const std::vector<mesh::IntVect>& tags,
+                               const mesh::Box& domain,
+                               const mesh::BoxArray& parents,
+                               const ClusterParams& params) {
+  AMRIO_EXPECTS(params.ref_ratio >= 2);
+  AMRIO_EXPECTS(params.blocking_factor >= 1);
+  if (tags.empty()) return mesh::BoxArray();
+
+  // 1. Buffer tags so the refined region comfortably contains the feature.
+  std::vector<mesh::IntVect> buffered;
+  if (params.error_buf > 0) {
+    std::set<mesh::IntVect> grown;
+    for (const auto& t : tags) {
+      for (int dj = -params.error_buf; dj <= params.error_buf; ++dj)
+        for (int di = -params.error_buf; di <= params.error_buf; ++di) {
+          const mesh::IntVect p{t.x + di, t.y + dj};
+          if (domain.contains(p)) grown.insert(p);
+        }
+    }
+    buffered.assign(grown.begin(), grown.end());
+  } else {
+    buffered = tags;
+  }
+
+  // 2. Cluster in the coarse index space. The fine blocking factor maps to
+  //    blocking_factor / ref_ratio at the coarse level.
+  const int coarse_blocking =
+      std::max(1, params.blocking_factor / params.ref_ratio);
+  auto raw = berger_rigoutsos(std::move(buffered), params.efficiency,
+                              coarse_blocking);
+
+  // 3. Align, clip to domain, nest inside parents, and remove overlap.
+  std::vector<mesh::Box> accepted;
+  for (const auto& b : raw) {
+    const mesh::Box aligned = b.align_to(coarse_blocking) & domain;
+    if (aligned.empty()) continue;
+    // subtract already-accepted boxes to keep the set disjoint
+    std::vector<mesh::Box> pieces{aligned};
+    for (const auto& prev : accepted) {
+      std::vector<mesh::Box> next;
+      for (const auto& piece : pieces) {
+        auto diff = box_difference(piece, prev);
+        next.insert(next.end(), diff.begin(), diff.end());
+      }
+      pieces = std::move(next);
+      if (pieces.empty()) break;
+    }
+    // clip every piece against the parent level for proper nesting
+    for (const auto& piece : pieces) {
+      for (const auto& parent : parents.boxes()) {
+        const mesh::Box nested = piece & parent;
+        if (!nested.empty()) accepted.push_back(nested);
+      }
+    }
+  }
+  if (accepted.empty()) return mesh::BoxArray();
+
+  // 4. Refine to the fine level and enforce max_grid_size.
+  mesh::BoxArray fine(std::move(accepted));
+  fine = fine.refine(params.ref_ratio);
+  fine = fine.max_size(params.max_grid_size, params.blocking_factor);
+  AMRIO_ENSURES(fine.is_disjoint());
+  return fine;
+}
+
+}  // namespace amrio::amr

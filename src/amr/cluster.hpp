@@ -1,0 +1,37 @@
+#pragma once
+/// \file cluster.hpp
+/// Berger–Rigoutsos grid generation: turn a set of tagged (coarse-level)
+/// cells into the next level's BoxArray. Implements the signature/hole/
+/// inflection splitting of the original algorithm, then AMReX's post-passes:
+/// blocking-factor alignment, domain clipping, proper nesting inside the
+/// parent level, overlap removal, and max_grid_size chopping.
+
+#include <vector>
+
+#include "mesh/boxarray.hpp"
+
+namespace amrio::amr {
+
+struct ClusterParams {
+  double efficiency = 0.7;  ///< target fraction of tagged cells per box
+  int blocking_factor = 8;  ///< fine-level blocking factor
+  int max_grid_size = 256;  ///< fine-level max box side
+  int ref_ratio = 2;
+  int error_buf = 1;        ///< grow tags by this many coarse cells
+};
+
+/// Raw Berger–Rigoutsos clustering (no alignment/nesting): cover `tags` with
+/// boxes at the given efficiency. Exposed for unit testing.
+std::vector<mesh::Box> berger_rigoutsos(std::vector<mesh::IntVect> tags,
+                                        double efficiency, int min_width);
+
+/// Full grid generation: tags (level-l index space) -> level-(l+1) BoxArray.
+/// `domain` is level-l's domain box; `parents` level-l's BoxArray (new grids
+/// are clipped to nest inside it). The result is disjoint, refined by
+/// ref_ratio, and each box obeys max_grid_size.
+mesh::BoxArray make_fine_grids(const std::vector<mesh::IntVect>& tags,
+                               const mesh::Box& domain,
+                               const mesh::BoxArray& parents,
+                               const ClusterParams& params);
+
+}  // namespace amrio::amr

@@ -1,0 +1,287 @@
+#include "amr/core.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hydro/bc.hpp"
+#include "hydro/derive.hpp"
+#include "util/assert.hpp"
+#include "util/format.hpp"
+#include "util/log.hpp"
+
+namespace amrio::amr {
+
+AmrCore::AmrCore(AmrInputs inputs)
+    : inputs_(std::move(inputs)),
+      solver_(hydro::SolverOptions{inputs_.gamma, true}) {
+  inputs_.validate();
+  sedov_.rho_ambient = inputs_.sedov_rho_ambient;
+  sedov_.p_ambient = inputs_.sedov_p_ambient;
+  sedov_.blast_energy = inputs_.sedov_blast_energy;
+  sedov_.r_init = inputs_.sedov_r_init;
+  sedov_.center = inputs_.sedov_center;
+  sedov_.gamma = inputs_.gamma;
+  tagging_.dens_grad_rel = inputs_.tag_dens_grad_rel;
+  tagging_.pres_grad_rel = inputs_.tag_pres_grad_rel;
+}
+
+ClusterParams AmrCore::cluster_params() const {
+  ClusterParams p;
+  p.efficiency = inputs_.grid_eff;
+  p.blocking_factor = inputs_.blocking_factor;
+  p.max_grid_size = inputs_.max_grid_size;
+  p.ref_ratio = inputs_.ref_ratio;
+  p.error_buf = inputs_.n_error_buf;
+  return p;
+}
+
+mesh::DistributionMapping AmrCore::make_dm(const mesh::BoxArray& ba) const {
+  return mesh::DistributionMapping::make(ba, inputs_.nprocs,
+                                         inputs_.distribution);
+}
+
+void AmrCore::init() {
+  AMRIO_EXPECTS_MSG(!initialized_, "AmrCore::init called twice");
+  levels_.clear();
+
+  const mesh::Box domain0(mesh::IntVect(0, 0),
+                          mesh::IntVect(inputs_.n_cell[0] - 1, inputs_.n_cell[1] - 1));
+  const mesh::Geometry geom0(domain0, inputs_.prob_lo, inputs_.prob_hi);
+  mesh::BoxArray ba0 =
+      mesh::BoxArray(domain0).max_size(inputs_.max_grid_size,
+                                       inputs_.blocking_factor);
+  levels_.push_back(AmrLevel{
+      geom0, mesh::MultiFab(ba0, make_dm(ba0), hydro::kNCons, hydro::kGhost)});
+  auto& l0 = levels_.back();
+  for (std::size_t b = 0; b < l0.state.nfabs(); ++b)
+    hydro::init_sedov(l0.state.fab(b), l0.state.valid_box(b), l0.geom, sedov_);
+  fill_ghosts(0);
+
+  // Initial refinement cascade: each new level is filled from the analytic
+  // initial condition at its own resolution, exactly as Castro does.
+  for (int l = 0; l < inputs_.max_level; ++l) {
+    fill_ghosts(l);
+    const auto tags = tag_cells(levels_[static_cast<std::size_t>(l)].state,
+                                solver_.eos(), tagging_);
+    const auto ba = make_fine_grids(
+        tags, levels_[static_cast<std::size_t>(l)].geom.domain(),
+        levels_[static_cast<std::size_t>(l)].state.box_array(), cluster_params());
+    if (ba.empty()) break;
+    const mesh::Geometry geom =
+        levels_[static_cast<std::size_t>(l)].geom.refine(inputs_.ref_ratio);
+    levels_.push_back(AmrLevel{
+        geom, mesh::MultiFab(ba, make_dm(ba), hydro::kNCons, hydro::kGhost)});
+    auto& lev = levels_.back();
+    for (std::size_t b = 0; b < lev.state.nfabs(); ++b)
+      hydro::init_sedov(lev.state.fab(b), lev.state.valid_box(b), lev.geom, sedov_);
+    fill_ghosts(l + 1);
+  }
+  average_down();
+  initialized_ = true;
+  AMRIO_LOG_INFO("AmrCore initialized with " << levels_.size() << " levels");
+}
+
+double AmrCore::compute_dt() const {
+  AMRIO_EXPECTS(initialized_);
+  double dt = std::numeric_limits<double>::infinity();
+  for (const auto& lev : levels_) {
+    const double dx = lev.geom.cell_size(0);
+    const double dy = lev.geom.cell_size(1);
+    for (std::size_t b = 0; b < lev.state.nfabs(); ++b) {
+      dt = std::min(dt, solver_.max_stable_dt(lev.state.fab(b),
+                                              lev.state.valid_box(b), dx, dy));
+    }
+  }
+  dt *= inputs_.cfl;
+  if (last_dt_ < 0.0) {
+    dt *= inputs_.init_shrink;
+  } else {
+    dt = std::min(dt, inputs_.change_max * last_dt_);
+  }
+  // Do not overshoot stop_time (Castro clamps the final step the same way).
+  if (time_ + dt > inputs_.stop_time) dt = inputs_.stop_time - time_;
+  AMRIO_ENSURES(dt > 0.0 && std::isfinite(dt));
+  return dt;
+}
+
+void AmrCore::fill_ghosts(int l) {
+  auto& lev = levels_[static_cast<std::size_t>(l)];
+  if (l > 0) interp_from_coarse(l, lev.state);
+  lev.state.fill_boundary();
+  for (std::size_t b = 0; b < lev.state.nfabs(); ++b)
+    hydro::fill_domain_boundary(lev.state.fab(b), lev.geom.domain(),
+                                hydro::BcType::kOutflow);
+}
+
+void AmrCore::interp_from_coarse(int l_fine, mesh::MultiFab& dest) const {
+  AMRIO_EXPECTS(l_fine >= 1);
+  const auto& coarse = levels_[static_cast<std::size_t>(l_fine - 1)];
+  const mesh::Box fine_domain =
+      coarse.geom.domain().refine(inputs_.ref_ratio);
+  const auto& cba = coarse.state.box_array();
+
+  for (std::size_t b = 0; b < dest.nfabs(); ++b) {
+    mesh::Fab& fab = dest.fab(b);
+    const mesh::Box region = fab.box() & fine_domain;
+    std::size_t hint = 0;  // coarse boxes are spatially coherent; cache lookups
+    for (int j = region.lo(1); j <= region.hi(1); ++j) {
+      for (int i = region.lo(0); i <= region.hi(0); ++i) {
+        const mesh::IntVect fp{i, j};
+        const mesh::IntVect cp{mesh::coarsen_index(i, inputs_.ref_ratio),
+                               mesh::coarsen_index(j, inputs_.ref_ratio)};
+        // find owning coarse fab
+        std::size_t found = cba.size();
+        for (std::size_t k = 0; k < cba.size(); ++k) {
+          const std::size_t idx = (hint + k) % cba.size();
+          if (cba[idx].contains(cp)) {
+            found = idx;
+            break;
+          }
+        }
+        if (found == cba.size()) continue;  // under a domain-boundary ghost
+        hint = found;
+        const mesh::Fab& cfab = coarse.state.fab(found);
+        for (int n = 0; n < dest.ncomp(); ++n) fab(fp, n) = cfab(cp, n);
+      }
+    }
+  }
+}
+
+void AmrCore::average_down() {
+  const int r = inputs_.ref_ratio;
+  const double inv = 1.0 / (r * r);
+  for (int l = finest_level(); l >= 1; --l) {
+    const auto& fine = levels_[static_cast<std::size_t>(l)].state;
+    auto& coarse = levels_[static_cast<std::size_t>(l - 1)].state;
+    for (std::size_t fb = 0; fb < fine.nfabs(); ++fb) {
+      const mesh::Box cregion = fine.valid_box(fb).coarsen(r);
+      for (std::size_t cb = 0; cb < coarse.nfabs(); ++cb) {
+        const mesh::Box overlap = cregion & coarse.valid_box(cb);
+        if (overlap.empty()) continue;
+        mesh::Fab& cfab = coarse.fab(cb);
+        const mesh::Fab& ffab = fine.fab(fb);
+        for (int n = 0; n < coarse.ncomp(); ++n) {
+          for (int cj = overlap.lo(1); cj <= overlap.hi(1); ++cj) {
+            for (int ci = overlap.lo(0); ci <= overlap.hi(0); ++ci) {
+              double acc = 0.0;
+              for (int jj = 0; jj < r; ++jj)
+                for (int ii = 0; ii < r; ++ii)
+                  acc += ffab({ci * r + ii, cj * r + jj}, n);
+              cfab({ci, cj}, n) = acc * inv;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void AmrCore::advance(double dt) {
+  AMRIO_EXPECTS(initialized_);
+  AMRIO_EXPECTS(dt > 0.0);
+  for (int l = 0; l <= finest_level(); ++l) {
+    fill_ghosts(l);
+    auto& lev = levels_[static_cast<std::size_t>(l)];
+    const double dx = lev.geom.cell_size(0);
+    const double dy = lev.geom.cell_size(1);
+    for (std::size_t b = 0; b < lev.state.nfabs(); ++b)
+      solver_.advance(lev.state.fab(b), lev.state.valid_box(b), dx, dy, dt);
+  }
+  average_down();
+  ++step_;
+  time_ += dt;
+  last_dt_ = dt;
+}
+
+void AmrCore::regrid() {
+  AMRIO_EXPECTS(initialized_);
+  for (int l = 0; l <= std::min(finest_level(), inputs_.max_level - 1); ++l) {
+    fill_ghosts(l);
+    auto& clevel = levels_[static_cast<std::size_t>(l)];
+    const auto tags = tag_cells(clevel.state, solver_.eos(), tagging_);
+    const auto new_ba = make_fine_grids(tags, clevel.geom.domain(),
+                                        clevel.state.box_array(), cluster_params());
+    const bool have_finer = l + 1 <= finest_level();
+    if (new_ba.empty()) {
+      if (have_finer) {
+        levels_.erase(levels_.begin() + l + 1, levels_.end());
+        AMRIO_LOG_DEBUG("regrid: removed levels above " << l);
+      }
+      break;
+    }
+    if (have_finer &&
+        new_ba == levels_[static_cast<std::size_t>(l + 1)].state.box_array()) {
+      continue;  // unchanged
+    }
+    const mesh::Geometry geom = clevel.geom.refine(inputs_.ref_ratio);
+    mesh::MultiFab fresh(new_ba, make_dm(new_ba), hydro::kNCons, hydro::kGhost);
+    interp_from_coarse(l + 1, fresh);
+    if (have_finer)
+      fresh.copy_valid_from(levels_[static_cast<std::size_t>(l + 1)].state, 0, 0,
+                            hydro::kNCons);
+    if (have_finer) {
+      levels_[static_cast<std::size_t>(l + 1)] = AmrLevel{geom, std::move(fresh)};
+    } else {
+      levels_.push_back(AmrLevel{geom, std::move(fresh)});
+    }
+    fill_ghosts(l + 1);
+  }
+  average_down();
+}
+
+bool AmrCore::should_plot(std::int64_t step) const {
+  if (inputs_.plot_int <= 0) return false;
+  return step % inputs_.plot_int == 0;
+}
+
+std::string AmrCore::plotfile_name(std::int64_t step) const {
+  return inputs_.plot_file + util::zero_pad(static_cast<std::uint64_t>(step), 5);
+}
+
+void AmrCore::record_step(double dt, bool plotted) {
+  StepRecord rec;
+  rec.step = step_;
+  rec.time = time_;
+  rec.dt = dt;
+  rec.plotted = plotted;
+  for (const auto& lev : levels_) {
+    rec.cells_per_level.push_back(lev.state.num_pts());
+    rec.grids_per_level.push_back(static_cast<std::int64_t>(lev.state.nfabs()));
+  }
+  history_.push_back(std::move(rec));
+}
+
+void AmrCore::run(const PlotHook& on_plot, const PlotHook& on_step) {
+  if (!initialized_) init();
+
+  // Castro writes the initial plotfile (plt00000) before the first step.
+  const bool plot0 = should_plot(0);
+  if (plot0 && on_plot) on_plot(*this, 0, time_);
+  if (on_step) on_step(*this, 0, time_);
+  record_step(0.0, plot0);
+
+  while (step_ < inputs_.max_step && time_ < inputs_.stop_time) {
+    const double dt = compute_dt();
+    advance(dt);
+    if (step_ % inputs_.regrid_int == 0) regrid();
+    const bool plotted = should_plot(step_);
+    if (plotted && on_plot) on_plot(*this, step_, time_);
+    if (on_step) on_step(*this, step_, time_);
+    record_step(dt, plotted);
+    AMRIO_LOG_DEBUG("step " << step_ << " t=" << time_ << " dt=" << dt
+                            << " levels=" << levels_.size());
+  }
+}
+
+mesh::MultiFab AmrCore::derive_level(int l) const {
+  const auto& lev = levels_.at(static_cast<std::size_t>(l));
+  mesh::MultiFab out(lev.state.box_array(), lev.state.distribution(),
+                     hydro::num_plot_vars(), 0);
+  for (std::size_t b = 0; b < out.nfabs(); ++b) {
+    hydro::derive_plot_vars(lev.state.fab(b), lev.state.valid_box(b), out.fab(b),
+                            solver_.eos());
+  }
+  return out;
+}
+
+}  // namespace amrio::amr

@@ -1,0 +1,56 @@
+#include "amr/tagging.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hydro/state.hpp"
+#include "util/assert.hpp"
+
+namespace amrio::amr {
+
+namespace {
+hydro::Prim prim_at(const mesh::Fab& f, mesh::IntVect p,
+                    const hydro::GammaLawEos& eos) {
+  hydro::Cons c{f(p, hydro::kURho), f(p, hydro::kUMx), f(p, hydro::kUMy),
+                f(p, hydro::kUEden)};
+  return eos.to_prim(c);
+}
+}  // namespace
+
+std::vector<mesh::IntVect> tag_cells(const mesh::MultiFab& state,
+                                     const hydro::GammaLawEos& eos,
+                                     const TaggingParams& params) {
+  AMRIO_EXPECTS_MSG(state.nghost() >= 1, "tagging needs one ghost cell");
+  std::vector<mesh::IntVect> tags;
+  for (std::size_t b = 0; b < state.nfabs(); ++b) {
+    const mesh::Fab& fab = state.fab(b);
+    const mesh::Box valid = state.valid_box(b);
+    for (int j = valid.lo(1); j <= valid.hi(1); ++j) {
+      for (int i = valid.lo(0); i <= valid.hi(0); ++i) {
+        const mesh::IntVect p{i, j};
+        const hydro::Prim q0 = prim_at(fab, p, eos);
+        bool tagged = false;
+        for (int dir = 0; dir < mesh::kSpaceDim && !tagged; ++dir) {
+          const mesh::IntVect unit =
+              (dir == 0) ? mesh::IntVect(1, 0) : mesh::IntVect(0, 1);
+          const hydro::Prim qm = prim_at(fab, p - unit, eos);
+          const hydro::Prim qp = prim_at(fab, p + unit, eos);
+          const double drho =
+              std::max(std::abs(qp.rho - q0.rho), std::abs(q0.rho - qm.rho));
+          const double dp =
+              std::max(std::abs(qp.p - q0.p), std::abs(q0.p - qm.p));
+          if (drho / std::max(q0.rho, hydro::kRhoFloor) > params.dens_grad_rel)
+            tagged = true;
+          if (dp / std::max(q0.p, hydro::kPressureFloor) > params.pres_grad_rel)
+            tagged = true;
+        }
+        if (tagged) tags.push_back(p);
+      }
+    }
+  }
+  std::sort(tags.begin(), tags.end());
+  tags.erase(std::unique(tags.begin(), tags.end()), tags.end());
+  return tags;
+}
+
+}  // namespace amrio::amr

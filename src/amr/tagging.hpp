@@ -1,0 +1,27 @@
+#pragma once
+/// \file tagging.hpp
+/// Error estimation: mark cells whose local density/pressure gradients exceed
+/// relative thresholds. Castro's Sedov setup tags on exactly these two fields;
+/// the tagged annulus tracks the blast front, which is what makes refined-
+/// level output grow nonlinearly over time (the effect the paper models).
+
+#include <vector>
+
+#include "hydro/eos.hpp"
+#include "mesh/multifab.hpp"
+
+namespace amrio::amr {
+
+struct TaggingParams {
+  double dens_grad_rel = 0.25;  ///< tag when |Δρ|/ρ exceeds this
+  double pres_grad_rel = 0.25;  ///< tag when |Δp|/p exceeds this
+};
+
+/// Tag valid cells of `state` (conserved components, ghosts filled) whose
+/// undivided relative gradient of density or pressure exceeds the thresholds.
+/// Returns cell indices in the level's index space, sorted, unique.
+std::vector<mesh::IntVect> tag_cells(const mesh::MultiFab& state,
+                                     const hydro::GammaLawEos& eos,
+                                     const TaggingParams& params);
+
+}  // namespace amrio::amr

@@ -1,0 +1,29 @@
+#pragma once
+/// \file amrio.hpp
+/// Umbrella header: the public API of the amrio library.
+///
+/// Quick tour (see examples/quickstart.cpp for runnable code):
+///   1. amrio::core::CaseConfig / case4() — define a Castro-Sedov run
+///   2. amrio::core::run_case()           — simulate + write N-to-N plotfiles
+///   3. RunRecord::total / per_level      — the paper's Eq. (1) output series
+///   4. amrio::core::calibrate_and_validate() — Listing-1 translation to a
+///      MACSio proxy, Eq. (3) part_size fit, dataset_growth calibration, and
+///      a proxy-vs-simulation error report.
+
+#include "amr/core.hpp"            // IWYU pragma: export
+#include "amr/inputs.hpp"          // IWYU pragma: export
+#include "core/campaign.hpp"       // IWYU pragma: export
+#include "core/case_def.hpp"       // IWYU pragma: export
+#include "core/proxy_study.hpp"    // IWYU pragma: export
+#include "iostats/aggregate.hpp"   // IWYU pragma: export
+#include "macsio/driver.hpp"       // IWYU pragma: export
+#include "macsio/params.hpp"       // IWYU pragma: export
+#include "model/calibrate.hpp"     // IWYU pragma: export
+#include "model/partsize.hpp"      // IWYU pragma: export
+#include "model/regression.hpp"    // IWYU pragma: export
+#include "model/translate.hpp"     // IWYU pragma: export
+#include "pfs/backend.hpp"         // IWYU pragma: export
+#include "pfs/simfs.hpp"           // IWYU pragma: export
+#include "plotfile/reader.hpp"     // IWYU pragma: export
+#include "plotfile/scanner.hpp"    // IWYU pragma: export
+#include "plotfile/writer.hpp"     // IWYU pragma: export

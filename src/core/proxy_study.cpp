@@ -1,0 +1,39 @@
+#include "core/proxy_study.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace amrio::core {
+
+ValidationResult calibrate_and_validate(const RunRecord& run, double growth_lo,
+                                        double growth_hi) {
+  ValidationResult result;
+  result.translation =
+      model::translate(run.inputs, run.measurements(), growth_lo, growth_hi);
+  result.sim_per_step = run.total.per_step;
+
+  // Execute the calibrated proxy for real (as the paper does on Summit) and
+  // measure what it writes.
+  macsio::Params params = result.translation.params;
+  params.output_dir = "macsio_" + run.config.name;
+  pfs::MemoryBackend backend(/*store_contents=*/false);
+  result.proxy_stats = macsio::run_macsio(params, backend);
+  for (auto b : result.proxy_stats.bytes_per_dump)
+    result.proxy_per_step.push_back(static_cast<double>(b));
+
+  AMRIO_EXPECTS(result.proxy_per_step.size() == result.sim_per_step.size());
+  double acc = 0.0;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < result.sim_per_step.size(); ++i) {
+    const double rel = std::abs(result.proxy_per_step[i] - result.sim_per_step[i]) /
+                       result.sim_per_step[i];
+    acc += rel;
+    worst = std::max(worst, rel);
+  }
+  result.mean_abs_rel_err = acc / static_cast<double>(result.sim_per_step.size());
+  result.max_abs_rel_err = worst;
+  return result;
+}
+
+}  // namespace amrio::core

@@ -1,0 +1,30 @@
+#include "hydro/bc.hpp"
+
+#include <algorithm>
+
+#include "hydro/state.hpp"
+#include "util/assert.hpp"
+
+namespace amrio::hydro {
+
+void fill_domain_boundary(mesh::Fab& fab, const mesh::Box& domain, BcType bc) {
+  const mesh::Box fb = fab.box();
+  if (domain.contains(fb)) return;
+  for (int j = fb.lo(1); j <= fb.hi(1); ++j) {
+    for (int i = fb.lo(0); i <= fb.hi(0); ++i) {
+      if (domain.contains({i, j})) continue;
+      // nearest interior cell
+      const int ci = std::clamp(i, domain.lo(0), domain.hi(0));
+      const int cj = std::clamp(j, domain.lo(1), domain.hi(1));
+      for (int n = 0; n < fab.ncomp(); ++n)
+        fab({i, j}, n) = fab({ci, cj}, n);
+      if (bc == BcType::kReflect) {
+        // mirror the wall-normal momentum
+        if (i != ci) fab({i, j}, kUMx) = -fab({i, j}, kUMx);
+        if (j != cj) fab({i, j}, kUMy) = -fab({i, j}, kUMy);
+      }
+    }
+  }
+}
+
+}  // namespace amrio::hydro

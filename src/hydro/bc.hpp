@@ -1,0 +1,18 @@
+#pragma once
+/// \file bc.hpp
+/// Physical domain boundary fill. The paper's Sedov inputs use outflow on
+/// every face (`castro.lo_bc = 2 2`, `castro.hi_bc = 2 2`); reflecting walls
+/// are provided for solver tests.
+
+#include "mesh/fab.hpp"
+
+namespace amrio::hydro {
+
+enum class BcType { kOutflow, kReflect };
+
+/// Fill every ghost cell of `fab` lying outside `domain` according to `bc`.
+/// Ghost cells inside the domain are untouched (they are filled by same-level
+/// exchange or coarse-fine interpolation).
+void fill_domain_boundary(mesh::Fab& fab, const mesh::Box& domain, BcType bc);
+
+}  // namespace amrio::hydro

@@ -1,0 +1,51 @@
+#include "hydro/derive.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace amrio::hydro {
+
+const std::vector<std::string>& plot_var_names() {
+  static const std::vector<std::string> kNames = {
+      "density", "xmom", "ymom", "rho_E",
+      "x_velocity", "y_velocity", "pressure", "MachNumber",
+  };
+  return kNames;
+}
+
+int num_plot_vars() { return static_cast<int>(plot_var_names().size()); }
+
+int plot_var_index(const std::string& name) {
+  const auto& names = plot_var_names();
+  for (std::size_t i = 0; i < names.size(); ++i)
+    if (names[i] == name) return static_cast<int>(i);
+  throw std::out_of_range("unknown plot variable: " + name);
+}
+
+void derive_plot_vars(const mesh::Fab& state, const mesh::Box& valid,
+                      mesh::Fab& out, const GammaLawEos& eos) {
+  AMRIO_EXPECTS(out.ncomp() == num_plot_vars());
+  const mesh::Box region = valid & state.box() & out.box();
+  for (int j = region.lo(1); j <= region.hi(1); ++j) {
+    for (int i = region.lo(0); i <= region.hi(0); ++i) {
+      const mesh::IntVect p{i, j};
+      const Cons c{state(p, kURho), state(p, kUMx), state(p, kUMy),
+                   state(p, kUEden)};
+      const Prim q = eos.to_prim(c);
+      const double speed = std::sqrt(q.u * q.u + q.v * q.v);
+      const double mach = speed / eos.sound_speed(q.rho, q.p);
+      out(p, 0) = c[kURho];
+      out(p, 1) = c[kUMx];
+      out(p, 2) = c[kUMy];
+      out(p, 3) = c[kUEden];
+      out(p, 4) = q.u;
+      out(p, 5) = q.v;
+      out(p, 6) = q.p;
+      out(p, 7) = mach;
+    }
+  }
+}
+
+}  // namespace amrio::hydro

@@ -1,0 +1,31 @@
+#pragma once
+/// \file derive.hpp
+/// Derived plot variables. Castro's `amr.derive_plot_vars = ALL` adds derived
+/// fields to the four conserved ones in every plotfile; we provide the subset
+/// relevant to the Sedov study (including the Mach number shown in the
+/// paper's Fig. 4b). The count of plot variables directly scales plotfile
+/// bytes, which the model's Eq. (3) correction factor f absorbs.
+
+#include <string>
+#include <vector>
+
+#include "hydro/eos.hpp"
+#include "mesh/fab.hpp"
+
+namespace amrio::hydro {
+
+/// Names of the plotted variables, in component order.
+const std::vector<std::string>& plot_var_names();
+
+/// Number of plot variables (== plot_var_names().size()).
+int num_plot_vars();
+
+/// Fill `out` (num_plot_vars() components over `valid`) from the conserved
+/// `state`.
+void derive_plot_vars(const mesh::Fab& state, const mesh::Box& valid,
+                      mesh::Fab& out, const GammaLawEos& eos);
+
+/// Index of a named plot variable; throws std::out_of_range when unknown.
+int plot_var_index(const std::string& name);
+
+}  // namespace amrio::hydro

@@ -1,0 +1,60 @@
+#pragma once
+/// \file eos.hpp
+/// Gamma-law (ideal gas) equation of state, the EOS Castro uses for the
+/// Sedov test.
+
+#include <algorithm>
+#include <cmath>
+
+#include "hydro/state.hpp"
+
+namespace amrio::hydro {
+
+class GammaLawEos {
+ public:
+  explicit constexpr GammaLawEos(double gamma = 1.4) : gamma_(gamma) {}
+
+  constexpr double gamma() const { return gamma_; }
+
+  /// p from density and specific internal energy e.
+  constexpr double pressure(double rho, double e_int) const {
+    return std::max((gamma_ - 1.0) * rho * e_int, kPressureFloor);
+  }
+
+  /// specific internal energy from density and pressure.
+  constexpr double internal_energy(double rho, double p) const {
+    return p / ((gamma_ - 1.0) * std::max(rho, kRhoFloor));
+  }
+
+  double sound_speed(double rho, double p) const {
+    return std::sqrt(gamma_ * std::max(p, kPressureFloor) /
+                     std::max(rho, kRhoFloor));
+  }
+
+  /// Conserved -> primitive with floors applied.
+  Prim to_prim(const Cons& c) const {
+    Prim q;
+    q.rho = std::max(c[kURho], kRhoFloor);
+    q.u = c[kUMx] / q.rho;
+    q.v = c[kUMy] / q.rho;
+    const double kinetic = 0.5 * q.rho * (q.u * q.u + q.v * q.v);
+    const double e_int_density = c[kUEden] - kinetic;
+    q.p = std::max((gamma_ - 1.0) * e_int_density, kPressureFloor);
+    return q;
+  }
+
+  /// Primitive -> conserved.
+  Cons to_cons(const Prim& q) const {
+    Cons c;
+    c[kURho] = q.rho;
+    c[kUMx] = q.rho * q.u;
+    c[kUMy] = q.rho * q.v;
+    c[kUEden] = q.p / (gamma_ - 1.0) + 0.5 * q.rho * (q.u * q.u + q.v * q.v);
+    return c;
+  }
+
+ private:
+  double gamma_;
+};
+
+}  // namespace amrio::hydro

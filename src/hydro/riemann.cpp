@@ -1,0 +1,45 @@
+#include "hydro/riemann.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace amrio::hydro {
+
+Cons euler_flux(const Prim& q, const GammaLawEos& eos, int dir) {
+  const double vel = (dir == 0) ? q.u : q.v;
+  const double rho_e =
+      q.p / (eos.gamma() - 1.0) + 0.5 * q.rho * (q.u * q.u + q.v * q.v);
+  Cons f;
+  f[kURho] = q.rho * vel;
+  f[kUMx] = q.rho * q.u * vel + ((dir == 0) ? q.p : 0.0);
+  f[kUMy] = q.rho * q.v * vel + ((dir == 1) ? q.p : 0.0);
+  f[kUEden] = (rho_e + q.p) * vel;
+  return f;
+}
+
+Cons hll_flux(const Prim& ql, const Prim& qr, const GammaLawEos& eos, int dir) {
+  const double ul = (dir == 0) ? ql.u : ql.v;
+  const double ur = (dir == 0) ? qr.u : qr.v;
+  const double cl = eos.sound_speed(ql.rho, ql.p);
+  const double cr = eos.sound_speed(qr.rho, qr.p);
+
+  // Davis wave-speed estimates.
+  const double sl = std::min(ul - cl, ur - cr);
+  const double sr = std::max(ul + cl, ur + cr);
+
+  const Cons fl = euler_flux(ql, eos, dir);
+  const Cons fr = euler_flux(qr, eos, dir);
+  if (sl >= 0.0) return fl;
+  if (sr <= 0.0) return fr;
+
+  const Cons cons_l = eos.to_cons(ql);
+  const Cons cons_r = eos.to_cons(qr);
+  Cons f;
+  const double inv = 1.0 / (sr - sl);
+  for (int n = 0; n < kNCons; ++n) {
+    f[n] = (sr * fl[n] - sl * fr[n] + sl * sr * (cons_r[n] - cons_l[n])) * inv;
+  }
+  return f;
+}
+
+}  // namespace amrio::hydro

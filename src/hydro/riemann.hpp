@@ -1,0 +1,17 @@
+#pragma once
+/// \file riemann.hpp
+/// HLL approximate Riemann solver for the 2D Euler equations, applied
+/// dimension-by-dimension (dir 0 = x faces, dir 1 = y faces).
+
+#include "hydro/eos.hpp"
+#include "hydro/state.hpp"
+
+namespace amrio::hydro {
+
+/// Physical flux of the conserved state in direction `dir`.
+Cons euler_flux(const Prim& q, const GammaLawEos& eos, int dir);
+
+/// HLL flux across a face with left state `ql` and right state `qr`.
+Cons hll_flux(const Prim& ql, const Prim& qr, const GammaLawEos& eos, int dir);
+
+}  // namespace amrio::hydro

@@ -1,0 +1,48 @@
+#include "hydro/sedov.hpp"
+
+#include <cmath>
+
+#include "hydro/eos.hpp"
+#include "util/assert.hpp"
+
+namespace amrio::hydro {
+
+void init_sedov(mesh::Fab& fab, const mesh::Box& valid,
+                const mesh::Geometry& geom, const SedovParams& params) {
+  AMRIO_EXPECTS(fab.ncomp() >= kNCons);
+  AMRIO_EXPECTS(params.r_init > 0);
+  const GammaLawEos eos(params.gamma);
+  const double dx = geom.cell_size(0);
+  const double dy = geom.cell_size(1);
+
+  // 2D (cylindrical) energy density: E / (pi r^2) spread over the deposit
+  // disc, expressed as a pressure via the gamma-law relation.
+  const double volume = M_PI * params.r_init * params.r_init;
+  const double p_blast = (params.gamma - 1.0) * params.blast_energy / volume;
+
+  constexpr int kSub = 4;  // subsampling for partial-coverage cells
+  const mesh::Box region = valid & fab.box();
+  for (int j = region.lo(1); j <= region.hi(1); ++j) {
+    for (int i = region.lo(0); i <= region.hi(0); ++i) {
+      const auto lo = geom.cell_lo({i, j});
+      int inside = 0;
+      for (int sj = 0; sj < kSub; ++sj) {
+        for (int si = 0; si < kSub; ++si) {
+          const double x = lo[0] + (si + 0.5) * dx / kSub - params.center[0];
+          const double y = lo[1] + (sj + 0.5) * dy / kSub - params.center[1];
+          if (x * x + y * y < params.r_init * params.r_init) ++inside;
+        }
+      }
+      const double frac = static_cast<double>(inside) / (kSub * kSub);
+      Prim q;
+      q.rho = params.rho_ambient;
+      q.u = 0.0;
+      q.v = 0.0;
+      q.p = params.p_ambient + frac * p_blast;
+      const Cons c = eos.to_cons(q);
+      for (int n = 0; n < kNCons; ++n) fab({i, j}, n) = c[n];
+    }
+  }
+}
+
+}  // namespace amrio::hydro

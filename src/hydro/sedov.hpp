@@ -1,0 +1,31 @@
+#pragma once
+/// \file sedov.hpp
+/// Initial condition for the Sedov–Taylor blast wave, the paper's benchmark
+/// problem ("2D cylindrical case in Cartesian coordinates"): a quiescent
+/// ambient gas with a finite-radius energy deposit whose self-similar
+/// expansion drives the AMR hierarchy the I/O study measures.
+
+#include <array>
+
+#include "mesh/fab.hpp"
+#include "mesh/geometry.hpp"
+
+namespace amrio::hydro {
+
+struct SedovParams {
+  double rho_ambient = 1.0;
+  double p_ambient = 1.0e-5;
+  double blast_energy = 1.0;          ///< total deposited energy
+  double r_init = 0.01;               ///< deposit radius (physical units)
+  std::array<double, 2> center{0.5, 0.5};
+  double gamma = 1.4;
+};
+
+/// Fill the `valid` cells of `fab` (conserved components) with the Sedov
+/// initial state. Cells partially inside the deposit radius get an
+/// area-weighted share of the blast pressure (4×4 subsampling), so the
+/// deposited energy is resolution-robust.
+void init_sedov(mesh::Fab& fab, const mesh::Box& valid,
+                const mesh::Geometry& geom, const SedovParams& params);
+
+}  // namespace amrio::hydro

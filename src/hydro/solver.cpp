@@ -1,0 +1,140 @@
+#include "hydro/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "hydro/riemann.hpp"
+#include "util/assert.hpp"
+
+namespace amrio::hydro {
+
+namespace {
+double minmod(double a, double b) {
+  if (a * b <= 0.0) return 0.0;
+  return (std::abs(a) < std::abs(b)) ? a : b;
+}
+
+Prim load_prim(const mesh::Fab& f, mesh::IntVect p, const GammaLawEos& eos) {
+  Cons c{f(p, kURho), f(p, kUMx), f(p, kUMy), f(p, kUEden)};
+  return eos.to_prim(c);
+}
+}  // namespace
+
+double HydroSolver::max_stable_dt(const mesh::Fab& state, const mesh::Box& valid,
+                                  double dx, double dy) const {
+  AMRIO_EXPECTS(dx > 0 && dy > 0);
+  double dt = std::numeric_limits<double>::infinity();
+  for (int j = valid.lo(1); j <= valid.hi(1); ++j) {
+    for (int i = valid.lo(0); i <= valid.hi(0); ++i) {
+      const Prim q = load_prim(state, {i, j}, eos_);
+      const double c = eos_.sound_speed(q.rho, q.p);
+      dt = std::min(dt, dx / (std::abs(q.u) + c));
+      dt = std::min(dt, dy / (std::abs(q.v) + c));
+    }
+  }
+  return dt;
+}
+
+void HydroSolver::sweep(mesh::Fab& state, const mesh::Box& valid, int dir,
+                        double dxd, double dt) const {
+  // Primitive states over valid grown by 2 in the sweep direction.
+  const mesh::IntVect gvec = (dir == 0) ? mesh::IntVect(kGhost, 0)
+                                        : mesh::IntVect(0, kGhost);
+  const mesh::Box work = valid.grow(gvec);
+  AMRIO_EXPECTS_MSG(state.box().contains(work),
+                    "hydro sweep needs " << kGhost << " ghost cells");
+
+  const mesh::IntVect unit = (dir == 0) ? mesh::IntVect(1, 0) : mesh::IntVect(0, 1);
+
+  std::vector<Prim> prim(static_cast<std::size_t>(work.num_pts()));
+  auto pidx = [&work](mesh::IntVect p) {
+    return static_cast<std::size_t>(mesh::linear_index(work, p));
+  };
+  for (int j = work.lo(1); j <= work.hi(1); ++j)
+    for (int i = work.lo(0); i <= work.hi(0); ++i)
+      prim[pidx({i, j})] = load_prim(state, {i, j}, eos_);
+
+  // Slopes over valid grown by 1 in the sweep direction.
+  const mesh::Box slope_box = valid.grow(unit);
+  std::vector<Prim> slope(static_cast<std::size_t>(slope_box.num_pts()));
+  auto sidx = [&slope_box](mesh::IntVect p) {
+    return static_cast<std::size_t>(mesh::linear_index(slope_box, p));
+  };
+  if (opts_.second_order) {
+    for (int j = slope_box.lo(1); j <= slope_box.hi(1); ++j) {
+      for (int i = slope_box.lo(0); i <= slope_box.hi(0); ++i) {
+        const mesh::IntVect p{i, j};
+        const Prim& qm = prim[pidx(p - unit)];
+        const Prim& q0 = prim[pidx(p)];
+        const Prim& qp = prim[pidx(p + unit)];
+        Prim& s = slope[sidx(p)];
+        s.rho = minmod(q0.rho - qm.rho, qp.rho - q0.rho);
+        s.u = minmod(q0.u - qm.u, qp.u - q0.u);
+        s.v = minmod(q0.v - qm.v, qp.v - q0.v);
+        s.p = minmod(q0.p - qm.p, qp.p - q0.p);
+      }
+    }
+  }
+
+  // Fluxes at faces lo..hi+1 along dir within each transverse row.
+  // faces are indexed by the cell to their right.
+  const mesh::Box face_box(valid.lo(), valid.hi() + unit);
+  std::vector<Cons> flux(static_cast<std::size_t>(face_box.num_pts()));
+  auto fidx = [&face_box](mesh::IntVect p) {
+    return static_cast<std::size_t>(mesh::linear_index(face_box, p));
+  };
+  for (int j = face_box.lo(1); j <= face_box.hi(1); ++j) {
+    for (int i = face_box.lo(0); i <= face_box.hi(0); ++i) {
+      const mesh::IntVect p{i, j};  // face between p-unit and p
+      Prim ql = prim[pidx(p - unit)];
+      Prim qr = prim[pidx(p)];
+      if (opts_.second_order) {
+        const Prim& sl = slope[sidx(p - unit)];
+        const Prim& sr = slope[sidx(p)];
+        ql.rho += 0.5 * sl.rho;
+        ql.u += 0.5 * sl.u;
+        ql.v += 0.5 * sl.v;
+        ql.p += 0.5 * sl.p;
+        qr.rho -= 0.5 * sr.rho;
+        qr.u -= 0.5 * sr.u;
+        qr.v -= 0.5 * sr.v;
+        qr.p -= 0.5 * sr.p;
+        ql.rho = std::max(ql.rho, kRhoFloor);
+        ql.p = std::max(ql.p, kPressureFloor);
+        qr.rho = std::max(qr.rho, kRhoFloor);
+        qr.p = std::max(qr.p, kPressureFloor);
+      }
+      flux[fidx(p)] = hll_flux(ql, qr, eos_, dir);
+    }
+  }
+
+  const double lambda = dt / dxd;
+  for (int j = valid.lo(1); j <= valid.hi(1); ++j) {
+    for (int i = valid.lo(0); i <= valid.hi(0); ++i) {
+      const mesh::IntVect p{i, j};
+      const Cons& f_lo = flux[fidx(p)];
+      const Cons& f_hi = flux[fidx(p + unit)];
+      for (int n = 0; n < kNCons; ++n) {
+        state(p, n) -= lambda * (f_hi[n] - f_lo[n]);
+      }
+      // Apply floors to keep the near-vacuum ambient state physical.
+      state(p, kURho) = std::max(state(p, kURho), kRhoFloor);
+      const double rho = state(p, kURho);
+      const double kinetic =
+          0.5 * (state(p, kUMx) * state(p, kUMx) + state(p, kUMy) * state(p, kUMy)) /
+          rho;
+      const double min_eden = kinetic + kPressureFloor / (eos_.gamma() - 1.0);
+      state(p, kUEden) = std::max(state(p, kUEden), min_eden);
+    }
+  }
+}
+
+void HydroSolver::advance(mesh::Fab& state, const mesh::Box& valid, double dx,
+                          double dy, double dt) const {
+  AMRIO_EXPECTS(dt > 0);
+  sweep(state, valid, 0, dx, dt);
+  sweep(state, valid, 1, dy, dt);
+}
+
+}  // namespace amrio::hydro

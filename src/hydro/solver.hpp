@@ -1,0 +1,45 @@
+#pragma once
+/// \file solver.hpp
+/// Second-order (MUSCL/minmod + HLL) dimension-split finite-volume update for
+/// the 2D Euler equations on a single Fab, plus the CFL timestep estimate.
+/// Needs `kGhost` filled ghost cells around the valid box.
+
+#include "hydro/eos.hpp"
+#include "mesh/fab.hpp"
+
+namespace amrio::hydro {
+
+/// Ghost cells the solver needs (1 for the stencil + 1 for slopes).
+inline constexpr int kGhost = 2;
+
+struct SolverOptions {
+  double gamma = 1.4;
+  /// Use piecewise-linear (minmod) reconstruction; false = first-order Godunov.
+  bool second_order = true;
+};
+
+class HydroSolver {
+ public:
+  explicit HydroSolver(SolverOptions opts = {}) : opts_(opts), eos_(opts.gamma) {}
+
+  const GammaLawEos& eos() const { return eos_; }
+
+  /// Largest stable dt on `valid` cells of `state` by the CFL criterion
+  /// (cfl multiplication is the caller's job, matching Castro's castro.cfl).
+  double max_stable_dt(const mesh::Fab& state, const mesh::Box& valid,
+                       double dx, double dy) const;
+
+  /// Advance `state` over its `valid` box by dt (x-sweep then y-sweep; the
+  /// caller alternates parity if desired). Ghost cells must be pre-filled.
+  void advance(mesh::Fab& state, const mesh::Box& valid, double dx, double dy,
+               double dt) const;
+
+ private:
+  void sweep(mesh::Fab& state, const mesh::Box& valid, int dir, double dxd,
+             double dt) const;
+
+  SolverOptions opts_;
+  GammaLawEos eos_;
+};
+
+}  // namespace amrio::hydro

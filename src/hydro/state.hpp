@@ -1,0 +1,31 @@
+#pragma once
+/// \file state.hpp
+/// Conserved/primitive state definitions for the 2D compressible Euler
+/// equations — the hydrodynamics Castro solves for the Sedov benchmark.
+
+#include <array>
+
+namespace amrio::hydro {
+
+/// Conserved component indices (Castro naming).
+inline constexpr int kURho = 0;   ///< density
+inline constexpr int kUMx = 1;    ///< x-momentum
+inline constexpr int kUMy = 2;    ///< y-momentum
+inline constexpr int kUEden = 3;  ///< total energy density rho E
+inline constexpr int kNCons = 4;
+
+using Cons = std::array<double, kNCons>;
+
+/// Primitive state.
+struct Prim {
+  double rho = 0.0;
+  double u = 0.0;
+  double v = 0.0;
+  double p = 0.0;
+};
+
+/// Numerical floors keeping the near-vacuum Sedov ambient state positive.
+inline constexpr double kRhoFloor = 1.0e-12;
+inline constexpr double kPressureFloor = 1.0e-14;
+
+}  // namespace amrio::hydro

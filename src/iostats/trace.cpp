@@ -1,0 +1,46 @@
+#include "iostats/trace.hpp"
+
+namespace amrio::iostats {
+
+void TraceRecorder::record(IoEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::record_write(std::int64_t step, int level, int rank,
+                                 const std::string& path, std::uint64_t bytes) {
+  IoEvent e;
+  e.op = IoEvent::Op::kWrite;
+  e.step = step;
+  e.level = level;
+  e.rank = rank;
+  e.path = path;
+  e.bytes = bytes;
+  record(std::move(e));
+}
+
+std::vector<IoEvent> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+std::uint64_t TraceRecorder::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& e : events_) {
+    if (e.op == IoEvent::Op::kWrite) total += e.bytes;
+  }
+  return total;
+}
+
+}  // namespace amrio::iostats

@@ -1,0 +1,48 @@
+#pragma once
+/// \file trace.hpp
+/// I/O event trace — the role Darshan/the authors' postprocessing notebooks
+/// play in the paper: every create/write/close performed by the plotfile
+/// writer or the MACSio proxy is recorded with its (step, level, rank)
+/// context so the characterization layer can aggregate output production at
+/// the paper's granularity (Fig. 2's hierarchy: per-step, per-level, per-task).
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace amrio::iostats {
+
+/// Context levels that do not apply use -1 (e.g. the top-level `Header`
+/// metadata file has level = -1, rank = -1).
+struct IoEvent {
+  enum class Op { kCreate, kWrite, kClose };
+  Op op = Op::kWrite;
+  std::int64_t step = -1;
+  int level = -1;
+  int rank = -1;
+  std::string path;
+  std::uint64_t bytes = 0;
+};
+
+/// Thread-safe append-only event log.
+class TraceRecorder {
+ public:
+  void record(IoEvent event);
+  void record_write(std::int64_t step, int level, int rank,
+                    const std::string& path, std::uint64_t bytes);
+
+  /// Snapshot of all events in record order.
+  std::vector<IoEvent> events() const;
+  std::size_t size() const;
+  void clear();
+
+  /// Sum of bytes over all write events.
+  std::uint64_t total_bytes() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<IoEvent> events_;
+};
+
+}  // namespace amrio::iostats

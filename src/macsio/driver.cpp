@@ -1,0 +1,252 @@
+#include "macsio/driver.hpp"
+
+#include <memory>
+#include <set>
+#include <sstream>
+
+#include "macsio/interfaces.hpp"
+#include "util/assert.hpp"
+#include "util/format.hpp"
+#include "util/json.hpp"
+
+namespace amrio::macsio {
+
+std::vector<double> DumpStats::cumulative() const {
+  std::vector<double> out;
+  out.reserve(bytes_per_dump.size());
+  double acc = 0.0;
+  for (auto b : bytes_per_dump) {
+    acc += static_cast<double>(b);
+    out.push_back(acc);
+  }
+  return out;
+}
+
+namespace {
+
+/// MIF file group of a rank: mif_files files shared contiguously.
+int file_group(const Params& p, int rank) {
+  const int nfiles = (p.mif_files == 0) ? p.nprocs : p.mif_files;
+  return static_cast<int>((static_cast<std::int64_t>(rank) * nfiles) / p.nprocs);
+}
+
+/// First rank of a file group (the member that creates/truncates the file).
+bool is_group_leader(const Params& p, int rank) {
+  if (rank == 0) return true;
+  return file_group(p, rank) != file_group(p, rank - 1);
+}
+
+}  // namespace
+
+std::string root_meta_text(const Params& p, int dump, const PartSpec& spec,
+                           std::uint64_t dump_bytes) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("tool").value("macsio-amrio");
+  w.key("interface").value(to_string(p.interface));
+  w.key("parallel_file_mode").value(to_string(p.file_mode));
+  w.key("dump").value(static_cast<std::int64_t>(dump));
+  w.key("num_dumps").value(static_cast<std::int64_t>(p.num_dumps));
+  w.key("nprocs").value(static_cast<std::int64_t>(p.nprocs));
+  w.key("part_nx").value(static_cast<std::int64_t>(spec.nx));
+  w.key("part_ny").value(static_cast<std::int64_t>(spec.ny));
+  w.key("vars_per_part").value(static_cast<std::int64_t>(spec.nvars));
+  w.key("part_size_request").value(p.part_bytes_at_dump(dump));
+  w.key("dataset_growth").value(p.dataset_growth);
+  w.key("dump_bytes").value(dump_bytes);
+  w.end_object();
+  os << '\n';
+  return os.str();
+}
+
+std::string dump_file_path(const Params& p, int rank, int dump) {
+  const auto iface = make_interface(p.interface);
+  if (p.file_mode == FileMode::kSif) {
+    return p.output_dir + "/data/macsio_" + iface->file_tag() + "_shared_" +
+           util::zero_pad(static_cast<std::uint64_t>(dump), 3) + "." +
+           iface->extension();
+  }
+  const int group = file_group(p, rank);
+  return p.output_dir + "/data/macsio_" + iface->file_tag() + "_" +
+         util::zero_pad(static_cast<std::uint64_t>(group), 5) + "_" +
+         util::zero_pad(static_cast<std::uint64_t>(dump), 3) + "." +
+         iface->extension();
+}
+
+std::string root_file_path(const Params& p, int dump) {
+  const auto iface = make_interface(p.interface);
+  return p.output_dir + "/metadata/macsio_" + iface->file_tag() + "_root_" +
+         util::zero_pad(static_cast<std::uint64_t>(dump), 3) + ".json";
+}
+
+DumpStats run_macsio(const Params& params, pfs::StorageBackend& backend,
+                     iostats::TraceRecorder* trace) {
+  params.validate();
+  const auto iface = make_interface(params.interface);
+  DumpStats stats;
+  stats.task_bytes.assign(static_cast<std::size_t>(params.num_dumps),
+                          std::vector<std::uint64_t>(
+                              static_cast<std::size_t>(params.nprocs), 0));
+
+  for (int dump = 0; dump < params.num_dumps; ++dump) {
+    const PartSpec spec =
+        make_part_spec(params.part_bytes_at_dump(dump), params.vars_per_part);
+    const double submit_time = dump * params.compute_time;
+    std::uint64_t dump_bytes = 0;
+
+    std::string open_path;
+    std::unique_ptr<pfs::OutFile> out;
+    for (int rank = 0; rank < params.nprocs; ++rank) {
+      const std::string path = dump_file_path(params, rank, dump);
+      const bool fresh = (path != open_path);
+      if (fresh) {
+        out.reset();  // close previous group file before opening the next
+        out = std::make_unique<pfs::OutFile>(backend, path);
+        open_path = path;
+        ++stats.nfiles;
+      }
+      const std::uint64_t before = out->bytes_written();
+      FileSink sink(*out);
+      util::Xoshiro256 rng(params.seed ^
+                           (static_cast<std::uint64_t>(dump) << 20) ^
+                           static_cast<std::uint64_t>(rank));
+      iface->begin_task_doc(sink, rank, dump);
+      const int nparts = params.parts_of_rank(rank);
+      for (int part = 0; part < nparts; ++part) {
+        if (part > 0) iface->part_separator(sink);
+        iface->write_part(sink, spec, part, params.fill, rng);
+      }
+      iface->end_task_doc(sink, params.meta_size);
+      const std::uint64_t written = out->bytes_written() - before;
+      stats.task_bytes[static_cast<std::size_t>(dump)]
+                      [static_cast<std::size_t>(rank)] = written;
+      dump_bytes += written;
+      if (trace != nullptr) trace->record_write(dump, 0, rank, path, written);
+      stats.requests.push_back(
+          pfs::IoRequest{rank, submit_time, path, written});
+    }
+    out.reset();
+
+    // Root metadata (rank 0's job in MACSio).
+    const std::string root_path = root_file_path(params, dump);
+    const std::string root = root_meta_text(params, dump, spec, dump_bytes);
+    {
+      pfs::OutFile root_out(backend, root_path);
+      root_out.write(root);
+    }
+    ++stats.nfiles;
+    dump_bytes += root.size();
+    if (trace != nullptr)
+      trace->record_write(dump, -1, 0, root_path, root.size());
+    stats.requests.push_back(
+        pfs::IoRequest{0, submit_time, root_path, root.size()});
+
+    stats.bytes_per_dump.push_back(dump_bytes);
+    stats.total_bytes += dump_bytes;
+  }
+  return stats;
+}
+
+DumpStats run_macsio_spmd(simmpi::Comm& comm, const Params& params,
+                          pfs::StorageBackend& backend,
+                          iostats::TraceRecorder* trace) {
+  params.validate();
+  AMRIO_EXPECTS_MSG(comm.size() == params.nprocs,
+                    "run_macsio_spmd: comm size " << comm.size()
+                                                  << " != nprocs " << params.nprocs);
+  const auto iface = make_interface(params.interface);
+  const int rank = comm.rank();
+  constexpr int kBatonTag = 41;
+
+  DumpStats stats;
+  if (rank == 0) {
+    stats.task_bytes.assign(static_cast<std::size_t>(params.num_dumps),
+                            std::vector<std::uint64_t>(
+                                static_cast<std::size_t>(params.nprocs), 0));
+  }
+
+  for (int dump = 0; dump < params.num_dumps; ++dump) {
+    const PartSpec spec =
+        make_part_spec(params.part_bytes_at_dump(dump), params.vars_per_part);
+    const double submit_time = dump * params.compute_time;
+    const std::string path = dump_file_path(params, rank, dump);
+
+    // MIF baton: within a file group, members write strictly in rank order.
+    // SIF is one global group. The leader truncates; followers append after
+    // receiving the baton from their predecessor.
+    const bool leader = (params.file_mode == FileMode::kSif)
+                            ? (rank == 0)
+                            : is_group_leader(params, rank);
+    const bool has_predecessor = !leader;
+    const bool same_file_successor =
+        (rank + 1 < params.nprocs) &&
+        dump_file_path(params, rank + 1, dump) == path;
+
+    if (has_predecessor) {
+      (void)comm.recv<std::uint64_t>(rank - 1, kBatonTag);
+    }
+    std::uint64_t written = 0;
+    {
+      pfs::OutFile out(backend, path,
+                       leader ? pfs::OpenMode::kTruncate : pfs::OpenMode::kAppend);
+      FileSink sink(out);
+      util::Xoshiro256 rng(params.seed ^
+                           (static_cast<std::uint64_t>(dump) << 20) ^
+                           static_cast<std::uint64_t>(rank));
+      iface->begin_task_doc(sink, rank, dump);
+      const int nparts = params.parts_of_rank(rank);
+      for (int part = 0; part < nparts; ++part) {
+        if (part > 0) iface->part_separator(sink);
+        iface->write_part(sink, spec, part, params.fill, rng);
+      }
+      iface->end_task_doc(sink, params.meta_size);
+      written = out.bytes_written();
+    }
+    if (same_file_successor) {
+      const std::uint64_t baton = written;
+      comm.send(std::span<const std::uint64_t>(&baton, 1), rank + 1, kBatonTag);
+    }
+    if (trace != nullptr) trace->record_write(dump, 0, rank, path, written);
+
+    // Gather per-rank byte counts so rank 0 can write the root metadata and
+    // accumulate statistics — this is MACSio's end-of-dump collective.
+    const auto all_bytes = comm.gather(written, 0);
+    comm.barrier();
+
+    if (rank == 0) {
+      std::uint64_t dump_bytes = 0;
+      for (int r = 0; r < params.nprocs; ++r) {
+        const std::uint64_t b = all_bytes[static_cast<std::size_t>(r)];
+        stats.task_bytes[static_cast<std::size_t>(dump)][static_cast<std::size_t>(r)] = b;
+        dump_bytes += b;
+        stats.requests.push_back(pfs::IoRequest{
+            r, submit_time, dump_file_path(params, r, dump), b});
+      }
+      const std::string root_path = root_file_path(params, dump);
+      const std::string root = root_meta_text(params, dump, spec, dump_bytes);
+      {
+        pfs::OutFile root_out(backend, root_path);
+        root_out.write(root);
+      }
+      dump_bytes += root.size();
+      if (trace != nullptr)
+        trace->record_write(dump, -1, 0, root_path, root.size());
+      stats.requests.push_back(
+          pfs::IoRequest{0, submit_time, root_path, root.size()});
+      stats.bytes_per_dump.push_back(dump_bytes);
+      stats.total_bytes += dump_bytes;
+    }
+    comm.barrier();
+  }
+
+  if (rank == 0) {
+    // files: count distinct paths actually produced
+    std::set<std::string> files;
+    for (const auto& req : stats.requests) files.insert(req.file);
+    stats.nfiles = files.size();
+  }
+  return stats;
+}
+
+}  // namespace amrio::macsio

@@ -1,0 +1,67 @@
+#pragma once
+/// \file driver.hpp
+/// The MACSio dump loop: `num_dumps` marshal/write cycles producing the
+/// paper's Fig. 3 output pattern
+///
+///   data/macsio_json_{taskID:05d}_{stepID:03d}.json     (MIF, per task)
+///   metadata/macsio_json_root_{stepID:03d}.json         (root, per step)
+///
+/// with `--dataset_growth` scaling part sizes between dumps and
+/// `--compute_time` spacing the dump bursts on the logical clock (the
+/// requests list can be replayed through pfs::SimFs for "dynamic" studies).
+///
+/// Two execution paths: a serial loop over virtual ranks (used by the
+/// calibrator, which runs MACSio many times), and a true SPMD path over
+/// simmpi threads with MIF baton-passing between group members.
+
+#include <cstdint>
+#include <vector>
+
+#include "iostats/trace.hpp"
+#include "macsio/params.hpp"
+#include "macsio/part.hpp"
+#include "pfs/backend.hpp"
+#include "pfs/simfs.hpp"
+#include "simmpi/comm.hpp"
+
+namespace amrio::macsio {
+
+struct DumpStats {
+  /// Total bytes per dump (task files + root metadata).
+  std::vector<std::uint64_t> bytes_per_dump;
+  /// Per-dump, per-rank task-document bytes.
+  std::vector<std::vector<std::uint64_t>> task_bytes;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t nfiles = 0;
+  /// One I/O request per (rank, dump) data write, timed on the logical
+  /// compute clock; feed to pfs::SimFs for burst/bandwidth studies.
+  std::vector<pfs::IoRequest> requests;
+
+  /// Cumulative bytes after each dump.
+  std::vector<double> cumulative() const;
+};
+
+/// Serial driver: iterates all virtual ranks in-process.
+/// Trace events use step = dump index, level = 0 for task data and level = -1
+/// for root metadata (MACSio has no AMR-level concept — the granularity gap
+/// the paper discusses in §III-B).
+DumpStats run_macsio(const Params& params, pfs::StorageBackend& backend,
+                     iostats::TraceRecorder* trace = nullptr);
+
+/// SPMD driver: call from inside simmpi::run_spmd with comm.size() ==
+/// params.nprocs. Rank 0's return value carries the full statistics.
+DumpStats run_macsio_spmd(simmpi::Comm& comm, const Params& params,
+                          pfs::StorageBackend& backend,
+                          iostats::TraceRecorder* trace = nullptr);
+
+/// Path of a task's dump file (group file under MIF, shared file under SIF).
+std::string dump_file_path(const Params& params, int rank, int dump);
+/// Path of the per-dump root metadata file.
+std::string root_file_path(const Params& params, int dump);
+/// The per-dump root metadata document (also used by the model layer to
+/// predict dump sizes exactly). `dump_bytes` is the task-data total of the
+/// dump, which the document reports.
+std::string root_meta_text(const Params& params, int dump, const PartSpec& spec,
+                           std::uint64_t dump_bytes);
+
+}  // namespace amrio::macsio

@@ -1,0 +1,154 @@
+#include "macsio/params.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+
+namespace amrio::macsio {
+
+const char* to_string(Interface i) {
+  switch (i) {
+    case Interface::kMiftmpl: return "miftmpl";
+    case Interface::kH5Lite: return "h5lite";
+    case Interface::kRaw: return "raw";
+  }
+  return "?";
+}
+
+const char* to_string(FileMode m) {
+  return m == FileMode::kMif ? "MIF" : "SIF";
+}
+
+Interface interface_from_string(const std::string& s) {
+  const std::string v = util::to_lower(s);
+  if (v == "miftmpl" || v == "json") return Interface::kMiftmpl;
+  // hdf5 maps onto our self-describing binary stand-in (DESIGN.md §2)
+  if (v == "h5lite" || v == "hdf5") return Interface::kH5Lite;
+  if (v == "raw" || v == "binary") return Interface::kRaw;
+  throw std::invalid_argument("macsio: unknown interface '" + s + "'");
+}
+
+Params Params::from_cli(const std::vector<std::string>& args) {
+  util::ArgParser cli("macsio", "MACSio-compatible proxy I/O application");
+  cli.add_option("interface", "output plugin: miftmpl|hdf5|h5lite|raw", 1,
+                 std::string("miftmpl"));
+  cli.add_option("parallel_file_mode", "MIF <nfiles> or SIF 1", 2);
+  cli.add_option("num_dumps", "number of dumps to marshal", 1, std::string("10"));
+  cli.add_option("part_size", "nominal per-part request size (bytes)", 1,
+                 std::string("80000"));
+  cli.add_option("avg_num_parts", "average mesh parts per task", 1,
+                 std::string("1"));
+  cli.add_option("vars_per_part", "mesh variables on each part", 1,
+                 std::string("1"));
+  cli.add_option("compute_time", "seconds of compute between dumps", 1,
+                 std::string("0"));
+  cli.add_option("meta_size", "additional metadata bytes per task", 1,
+                 std::string("0"));
+  cli.add_option("dataset_growth", "per-dump size multiplier", 1,
+                 std::string("1"));
+  cli.add_option("nprocs", "virtual MPI tasks", 1, std::string("1"));
+  cli.add_option("output_dir", "output directory", 1, std::string("macsio_out"));
+  cli.add_option("fill", "value fill mode: sized|real", 1, std::string("sized"));
+  cli.add_option("seed", "rng seed for real fill", 1, std::string("7"));
+  cli.parse(args);
+
+  Params p;
+  p.interface = interface_from_string(cli.get("interface"));
+  if (cli.flag("parallel_file_mode") || cli.has("parallel_file_mode")) {
+    const auto mode = cli.get_all("parallel_file_mode");
+    if (!mode.empty()) {
+      const std::string kind = util::to_lower(mode.at(0));
+      if (kind == "mif") {
+        p.file_mode = FileMode::kMif;
+        p.mif_files = mode.size() > 1 ? std::stoi(mode[1]) : 0;
+      } else if (kind == "sif") {
+        p.file_mode = FileMode::kSif;
+      } else {
+        throw std::invalid_argument("macsio: bad parallel_file_mode '" +
+                                    mode[0] + "'");
+      }
+    }
+  }
+  p.num_dumps = static_cast<int>(cli.get_int("num_dumps"));
+  p.part_size = util::parse_bytes(cli.get("part_size"));
+  p.avg_num_parts = cli.get_double("avg_num_parts");
+  p.vars_per_part = static_cast<int>(cli.get_int("vars_per_part"));
+  p.compute_time = cli.get_double("compute_time");
+  p.meta_size = util::parse_bytes(cli.get("meta_size"));
+  p.dataset_growth = cli.get_double("dataset_growth");
+  p.nprocs = static_cast<int>(cli.get_int("nprocs"));
+  p.output_dir = cli.get("output_dir");
+  const std::string fill = util::to_lower(cli.get("fill"));
+  if (fill == "sized") p.fill = FillMode::kSized;
+  else if (fill == "real") p.fill = FillMode::kReal;
+  else throw std::invalid_argument("macsio: bad fill mode '" + fill + "'");
+  p.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  p.validate();
+  return p;
+}
+
+std::vector<std::string> Params::to_cli() const {
+  std::vector<std::string> argv;
+  auto push = [&argv](const std::string& k, const std::string& v) {
+    argv.push_back("--" + k);
+    argv.push_back(v);
+  };
+  push("interface", to_string(interface));
+  argv.push_back("--parallel_file_mode");
+  argv.push_back(to_string(file_mode));
+  argv.push_back(file_mode == FileMode::kMif
+                     ? std::to_string(mif_files == 0 ? nprocs : mif_files)
+                     : std::string("1"));
+  push("num_dumps", std::to_string(num_dumps));
+  push("part_size", std::to_string(part_size));
+  push("avg_num_parts", util::format_g(avg_num_parts, 17));
+  push("vars_per_part", std::to_string(vars_per_part));
+  push("compute_time", util::format_g(compute_time, 17));
+  push("meta_size", std::to_string(meta_size));
+  push("dataset_growth", util::format_g(dataset_growth, 17));
+  push("nprocs", std::to_string(nprocs));
+  push("output_dir", output_dir);
+  push("fill", fill == FillMode::kSized ? "sized" : "real");
+  push("seed", std::to_string(seed));
+  return argv;
+}
+
+std::string Params::to_command_line() const {
+  return "macsio " + util::join(to_cli(), " ");
+}
+
+void Params::validate() const {
+  AMRIO_EXPECTS_MSG(num_dumps >= 1, "macsio: num_dumps must be >= 1");
+  AMRIO_EXPECTS_MSG(part_size >= 8, "macsio: part_size must be >= 8 bytes");
+  AMRIO_EXPECTS_MSG(avg_num_parts > 0, "macsio: avg_num_parts must be > 0");
+  AMRIO_EXPECTS_MSG(vars_per_part >= 1, "macsio: vars_per_part must be >= 1");
+  AMRIO_EXPECTS_MSG(compute_time >= 0, "macsio: compute_time must be >= 0");
+  AMRIO_EXPECTS_MSG(dataset_growth > 0, "macsio: dataset_growth must be > 0");
+  AMRIO_EXPECTS_MSG(dataset_growth < 2.0,
+                    "macsio: dataset_growth >= 2 would overflow quickly");
+  AMRIO_EXPECTS_MSG(nprocs >= 1, "macsio: nprocs must be >= 1");
+  AMRIO_EXPECTS_MSG(mif_files >= 0, "macsio: MIF file count must be >= 0");
+  AMRIO_EXPECTS_MSG(mif_files <= nprocs,
+                    "macsio: MIF file count cannot exceed nprocs");
+}
+
+std::uint64_t Params::part_bytes_at_dump(int dump) const {
+  AMRIO_EXPECTS(dump >= 0);
+  const double grown =
+      static_cast<double>(part_size) * std::pow(dataset_growth, dump);
+  return static_cast<std::uint64_t>(std::llround(grown));
+}
+
+int Params::parts_of_rank(int rank) const {
+  AMRIO_EXPECTS(rank >= 0 && rank < nprocs);
+  const std::int64_t total =
+      std::llround(avg_num_parts * static_cast<double>(nprocs));
+  const std::int64_t base = total / nprocs;
+  const std::int64_t extras = total % nprocs;
+  return static_cast<int>(base + (rank < extras ? 1 : 0));
+}
+
+}  // namespace amrio::macsio

@@ -1,0 +1,65 @@
+#pragma once
+/// \file params.hpp
+/// MACSio-compatible proxy configuration: the command-line argument set of the
+/// paper's Table II with the same names and semantics, so the model of
+/// Listing 1 translates AMReX inputs into an argv for this executable.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace amrio::macsio {
+
+enum class Interface { kMiftmpl, kH5Lite, kRaw };
+enum class FileMode { kMif, kSif };
+/// kSized writes constant (zero) values through the same fixed-width encoder
+/// — byte-identical output to kReal at a fraction of the formatting cost;
+/// kReal fills parts with seeded pseudo-random data.
+enum class FillMode { kSized, kReal };
+
+const char* to_string(Interface i);
+const char* to_string(FileMode m);
+Interface interface_from_string(const std::string& s);
+
+struct Params {
+  Interface interface = Interface::kMiftmpl;  ///< --interface (Table II)
+  FileMode file_mode = FileMode::kMif;        ///< --parallel_file_mode
+  int mif_files = 0;        ///< file count for MIF; 0 = one per task (N-to-N)
+  int num_dumps = 10;       ///< --num_dumps
+  std::uint64_t part_size = 80000;  ///< --part_size (bytes; suffixes K/M/G ok)
+  double avg_num_parts = 1.0;       ///< --avg_num_parts
+  int vars_per_part = 1;            ///< --vars_per_part
+  double compute_time = 0.0;        ///< --compute_time (sec between dumps)
+  std::uint64_t meta_size = 0;      ///< --meta_size (extra bytes per task)
+  double dataset_growth = 1.0;      ///< --dataset_growth (per-dump multiplier)
+
+  // run context (what jsrun provided in the paper's Listing 1)
+  int nprocs = 1;
+  std::string output_dir = "macsio_out";
+  FillMode fill = FillMode::kSized;
+  std::uint64_t seed = 7;
+
+  /// Parse a MACSio-style argv (without the program name). Accepted forms:
+  ///   --interface miftmpl|hdf5|h5lite|raw
+  ///   --parallel_file_mode MIF <n> | SIF 1
+  ///   --num_dumps N --part_size 1.5M --avg_num_parts 2.5 --vars_per_part 4
+  ///   --compute_time 0.5 --meta_size 4K --dataset_growth 1.013
+  ///   --nprocs N --output_dir path --fill real|sized --seed S
+  /// Throws std::invalid_argument on unknown/malformed arguments.
+  static Params from_cli(const std::vector<std::string>& args);
+
+  /// Serialize back into the Listing-1 argv form (round-trips from_cli).
+  std::vector<std::string> to_cli() const;
+  /// One-line rendering of to_cli() for reports.
+  std::string to_command_line() const;
+
+  void validate() const;
+
+  /// Nominal raw bytes of one part at dump k: part_size × growth^k.
+  std::uint64_t part_bytes_at_dump(int dump) const;
+  /// Parts owned by `rank`: total round(avg_num_parts × nprocs) parts,
+  /// distributed as evenly as possible (first tasks get the extras).
+  int parts_of_rank(int rank) const;
+};
+
+}  // namespace amrio::macsio

@@ -1,0 +1,26 @@
+#include "macsio/part.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace amrio::macsio {
+
+PartSpec make_part_spec(std::uint64_t target_bytes, int nvars) {
+  AMRIO_EXPECTS(nvars >= 1);
+  AMRIO_EXPECTS(target_bytes >= 1);
+  const std::uint64_t values =
+      (target_bytes + 8 * static_cast<std::uint64_t>(nvars) - 1) /
+      (8 * static_cast<std::uint64_t>(nvars));
+  PartSpec spec;
+  spec.nvars = nvars;
+  spec.nx = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(values))));
+  if (spec.nx < 1) spec.nx = 1;
+  spec.ny = static_cast<int>((values + spec.nx - 1) /
+                             static_cast<std::uint64_t>(spec.nx));
+  if (spec.ny < 1) spec.ny = 1;
+  AMRIO_ENSURES(spec.raw_bytes() >= target_bytes);
+  return spec;
+}
+
+}  // namespace amrio::macsio

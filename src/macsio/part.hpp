@@ -1,0 +1,30 @@
+#pragma once
+/// \file part.hpp
+/// Synthetic mesh parts. MACSio marshals rectilinear "parts" whose nominal
+/// byte size is the `--part_size` request; an actual part is the smallest
+/// square-ish nx × ny grid whose payload is at least that size — the "valid
+/// mesh topology" constraint the paper's calibration corrects for.
+
+#include <cstdint>
+
+namespace amrio::macsio {
+
+struct PartSpec {
+  int nx = 1;
+  int ny = 1;
+  int nvars = 1;
+
+  std::uint64_t values_per_var() const {
+    return static_cast<std::uint64_t>(nx) * static_cast<std::uint64_t>(ny);
+  }
+  std::uint64_t total_values() const {
+    return values_per_var() * static_cast<std::uint64_t>(nvars);
+  }
+  /// Raw payload bytes (doubles only, no format envelope).
+  std::uint64_t raw_bytes() const { return total_values() * 8; }
+};
+
+/// Smallest square-ish spec with raw_bytes() >= target_bytes.
+PartSpec make_part_spec(std::uint64_t target_bytes, int nvars);
+
+}  // namespace amrio::macsio

@@ -1,0 +1,26 @@
+#pragma once
+/// \file morton.hpp
+/// Morton (Z-order) encoding for space-filling-curve distribution mapping —
+/// AMReX's default strategy for assigning grids to MPI ranks.
+
+#include <cstdint>
+
+namespace amrio::mesh {
+
+/// Interleave the low 32 bits of x: abc -> a0b0c0.
+constexpr std::uint64_t morton_spread(std::uint32_t x) {
+  std::uint64_t v = x;
+  v = (v | (v << 16)) & 0x0000FFFF0000FFFFull;
+  v = (v | (v << 8)) & 0x00FF00FF00FF00FFull;
+  v = (v | (v << 4)) & 0x0F0F0F0F0F0F0F0Full;
+  v = (v | (v << 2)) & 0x3333333333333333ull;
+  v = (v | (v << 1)) & 0x5555555555555555ull;
+  return v;
+}
+
+/// Morton code of (x, y); x occupies even bits.
+constexpr std::uint64_t morton_encode(std::uint32_t x, std::uint32_t y) {
+  return morton_spread(x) | (morton_spread(y) << 1);
+}
+
+}  // namespace amrio::mesh

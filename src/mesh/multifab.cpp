@@ -1,0 +1,79 @@
+#include "mesh/multifab.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace amrio::mesh {
+
+MultiFab::MultiFab(BoxArray ba, DistributionMapping dm, int ncomp, int nghost)
+    : ba_(std::move(ba)), dm_(std::move(dm)), ncomp_(ncomp), nghost_(nghost) {
+  AMRIO_EXPECTS(ncomp >= 1);
+  AMRIO_EXPECTS(nghost >= 0);
+  AMRIO_EXPECTS(dm_.size() == ba_.size());
+  fabs_.reserve(ba_.size());
+  for (std::size_t i = 0; i < ba_.size(); ++i)
+    fabs_.emplace_back(ba_[i].grow(nghost), ncomp);
+}
+
+void MultiFab::set_val(double v) {
+  for (auto& f : fabs_) f.set_val(v);
+}
+
+void MultiFab::fill_boundary() {
+  if (nghost_ == 0) return;
+  for (std::size_t i = 0; i < fabs_.size(); ++i) {
+    const Box grown = ba_[i].grow(nghost_);
+    for (std::size_t j = 0; j < fabs_.size(); ++j) {
+      if (i == j) continue;
+      const Box overlap = grown & ba_[j];
+      if (overlap.empty()) continue;
+      fabs_[i].copy_from(fabs_[j], overlap, 0, 0, ncomp_);
+    }
+  }
+}
+
+void MultiFab::copy_valid_from(const MultiFab& src, int src_comp, int dst_comp,
+                               int ncomp) {
+  AMRIO_EXPECTS(src_comp + ncomp <= src.ncomp_);
+  AMRIO_EXPECTS(dst_comp + ncomp <= ncomp_);
+  for (std::size_t i = 0; i < fabs_.size(); ++i) {
+    for (std::size_t j = 0; j < src.fabs_.size(); ++j) {
+      const Box overlap = ba_[i] & src.ba_[j];
+      if (overlap.empty()) continue;
+      fabs_[i].copy_from(src.fabs_[j], overlap, src_comp, dst_comp, ncomp);
+    }
+  }
+}
+
+double MultiFab::min(int comp) const {
+  double out = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < fabs_.size(); ++i)
+    out = std::min(out, fabs_[i].min(ba_[i], comp));
+  return out;
+}
+
+double MultiFab::max(int comp) const {
+  double out = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < fabs_.size(); ++i)
+    out = std::max(out, fabs_[i].max(ba_[i], comp));
+  return out;
+}
+
+double MultiFab::sum(int comp) const {
+  double out = 0.0;
+  for (std::size_t i = 0; i < fabs_.size(); ++i) out += fabs_[i].sum(ba_[i], comp);
+  return out;
+}
+
+std::uint64_t MultiFab::bytes_on_rank(int rank) const {
+  std::uint64_t bytes = 0;
+  for (std::size_t i = 0; i < fabs_.size(); ++i) {
+    if (dm_.owner(i) == rank)
+      bytes += static_cast<std::uint64_t>(ba_[i].num_pts()) * ncomp_ * sizeof(double);
+  }
+  return bytes;
+}
+
+}  // namespace amrio::mesh

@@ -1,0 +1,96 @@
+#include "model/calibrate.hpp"
+
+#include <cmath>
+
+#include "macsio/driver.hpp"
+#include "macsio/interfaces.hpp"
+#include "model/partsize.hpp"
+#include "util/assert.hpp"
+
+namespace amrio::model {
+
+double series_objective(std::span<const double> proxy,
+                        std::span<const double> target) {
+  AMRIO_EXPECTS(proxy.size() == target.size());
+  AMRIO_EXPECTS(!proxy.empty());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < proxy.size(); ++i) {
+    AMRIO_EXPECTS_MSG(target[i] > 0, "calibration target must be positive");
+    const double rel = (proxy[i] - target[i]) / target[i];
+    acc += rel * rel;
+  }
+  return std::sqrt(acc / static_cast<double>(proxy.size()));
+}
+
+std::vector<double> macsio_per_dump_bytes(const macsio::Params& params) {
+  params.validate();
+  const auto iface = macsio::make_interface(params.interface);
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(params.num_dumps));
+  for (int dump = 0; dump < params.num_dumps; ++dump) {
+    const macsio::PartSpec spec = macsio::make_part_spec(
+        params.part_bytes_at_dump(dump), params.vars_per_part);
+    std::uint64_t bytes = 0;
+    for (int rank = 0; rank < params.nprocs; ++rank) {
+      const int nparts = params.parts_of_rank(rank);
+      if (nparts == 0) continue;
+      bytes += iface->task_doc_bytes(spec, rank, dump, nparts, params.meta_size);
+    }
+    // plus the root metadata document, sized exactly as the driver writes it
+    bytes += macsio::root_meta_text(params, dump, spec, bytes).size();
+    out.push_back(static_cast<double>(bytes));
+  }
+  return out;
+}
+
+CalibrationResult calibrate_growth(macsio::Params base,
+                                   std::span<const double> target_per_step,
+                                   double lo, double hi, int max_iters) {
+  AMRIO_EXPECTS(!target_per_step.empty());
+  AMRIO_EXPECTS(lo > 0 && hi > lo);
+  base.num_dumps = static_cast<int>(target_per_step.size());
+
+  CalibrationResult result;
+  auto evaluate = [&](double growth) {
+    macsio::Params p = base;
+    p.dataset_growth = growth;
+    CalibrationIterate it;
+    it.growth = growth;
+    it.per_dump = macsio_per_dump_bytes(p);
+    it.objective = series_objective(it.per_dump, target_per_step);
+    result.iterates.push_back(it);
+    return it.objective;
+  };
+
+  // Golden-section search on the unimodal objective.
+  const double gr = (std::sqrt(5.0) - 1.0) / 2.0;
+  double a = lo;
+  double b = hi;
+  double c = b - gr * (b - a);
+  double d = a + gr * (b - a);
+  double fc = evaluate(c);
+  double fd = evaluate(d);
+  for (int i = 0; i < max_iters; ++i) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - gr * (b - a);
+      fc = evaluate(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + gr * (b - a);
+      fd = evaluate(d);
+    }
+  }
+  const double best = (fc < fd) ? c : d;
+  result.best_growth = best;
+  result.best_objective = std::min(fc, fd);
+  result.params = base;
+  result.params.dataset_growth = best;
+  return result;
+}
+
+}  // namespace amrio::model

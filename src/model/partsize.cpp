@@ -1,0 +1,71 @@
+#include "model/partsize.hpp"
+
+#include <cmath>
+
+#include "macsio/interfaces.hpp"
+#include "util/assert.hpp"
+
+namespace amrio::model {
+
+std::uint64_t part_size_model(double f, std::int64_t ncells0, int nprocs) {
+  AMRIO_EXPECTS(f > 0 && ncells0 > 0 && nprocs > 0);
+  const double bytes = f * 8.0 * static_cast<double>(ncells0) /
+                       static_cast<double>(nprocs);
+  return static_cast<std::uint64_t>(std::llround(bytes));
+}
+
+std::uint64_t macsio_dump0_bytes(const macsio::Params& base,
+                                 std::uint64_t part_size) {
+  const auto iface = macsio::make_interface(base.interface);
+  const macsio::PartSpec spec =
+      macsio::make_part_spec(part_size, base.vars_per_part);
+  std::uint64_t total = 0;
+  for (int rank = 0; rank < base.nprocs; ++rank) {
+    const int nparts = base.parts_of_rank(rank);
+    if (nparts == 0) continue;
+    total += iface->task_doc_bytes(spec, rank, 0, nparts, base.meta_size);
+  }
+  return total;
+}
+
+PartSizeFit fit_part_size(const macsio::Params& base, double target_dump0_bytes,
+                          std::int64_t ncells0) {
+  AMRIO_EXPECTS(target_dump0_bytes > 0);
+  AMRIO_EXPECTS(ncells0 > 0);
+  PartSizeFit fit;
+  fit.target_bytes = target_dump0_bytes;
+
+  // The dump size is monotone non-decreasing in part_size; bisect.
+  std::uint64_t lo = 8;
+  std::uint64_t hi = static_cast<std::uint64_t>(
+      std::llround(2.0 * target_dump0_bytes / base.nprocs)) + 65536;
+  while (static_cast<double>(macsio_dump0_bytes(base, hi)) < target_dump0_bytes &&
+         hi < (1ull << 44)) {
+    hi *= 2;
+  }
+  for (int iter = 0; iter < 64 && lo + 1 < hi; ++iter) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (static_cast<double>(macsio_dump0_bytes(base, mid)) < target_dump0_bytes)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  // pick the closer endpoint
+  const double at_lo = static_cast<double>(macsio_dump0_bytes(base, lo));
+  const double at_hi = static_cast<double>(macsio_dump0_bytes(base, hi));
+  if (std::abs(at_lo - target_dump0_bytes) <= std::abs(at_hi - target_dump0_bytes)) {
+    fit.part_size = lo;
+    fit.achieved_bytes = at_lo;
+  } else {
+    fit.part_size = hi;
+    fit.achieved_bytes = at_hi;
+  }
+  fit.rel_error =
+      std::abs(fit.achieved_bytes - target_dump0_bytes) / target_dump0_bytes;
+  // Invert Eq. (3) for the implied correction factor.
+  fit.f = static_cast<double>(fit.part_size) * base.nprocs /
+          (8.0 * static_cast<double>(ncells0));
+  return fit;
+}
+
+}  // namespace amrio::model

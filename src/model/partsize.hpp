@@ -1,0 +1,41 @@
+#pragma once
+/// \file partsize.hpp
+/// The paper's Eq. (3):
+///
+///     part_size = f · 8 · Nx · Ny / nprocs   [bytes],   f ≈ 23–25
+///
+/// where f is "a correction factor due to the difference in nature of the
+/// MACSio json-based output and AMReX output file formats" and 8 accounts for
+/// double precision. This module both evaluates the forward model and fits f
+/// against a measured first-output size by inverting MACSio's exact
+/// serialization-size function (bisection on the monotone dump-size curve).
+
+#include <cstdint>
+
+#include "macsio/params.hpp"
+
+namespace amrio::model {
+
+/// Forward Eq. (3).
+std::uint64_t part_size_model(double f, std::int64_t ncells0, int nprocs);
+
+/// Exact bytes MACSio produces for dump 0 with `part_size` substituted into
+/// `base` (task documents only; the small root metadata file is excluded).
+std::uint64_t macsio_dump0_bytes(const macsio::Params& base,
+                                 std::uint64_t part_size);
+
+struct PartSizeFit {
+  std::uint64_t part_size = 0;  ///< fitted per-part request size
+  double f = 0.0;               ///< implied Eq. (3) correction factor
+  double achieved_bytes = 0.0;  ///< MACSio dump-0 bytes at the fit
+  double target_bytes = 0.0;
+  double rel_error = 0.0;       ///< |achieved-target| / target
+};
+
+/// Find part_size such that MACSio's first dump reproduces
+/// `target_dump0_bytes` (the AMR run's first output event), then report the
+/// implied correction factor f.
+PartSizeFit fit_part_size(const macsio::Params& base, double target_dump0_bytes,
+                          std::int64_t ncells0);
+
+}  // namespace amrio::model

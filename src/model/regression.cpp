@@ -1,0 +1,63 @@
+#include "model/regression.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace amrio::model {
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
+  AMRIO_EXPECTS(x.size() == y.size());
+  AMRIO_EXPECTS_MSG(x.size() >= 2, "fit_linear needs at least two points");
+  const double n = static_cast<double>(x.size());
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  AMRIO_EXPECTS_MSG(std::abs(denom) > 1e-300,
+                    "fit_linear needs at least two distinct x values");
+  LinearFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+
+  const double mean_y = sy / n;
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double pred = fit.intercept + fit.slope * x[i];
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - mean_y) * (y[i] - mean_y);
+  }
+  fit.r2 = (ss_tot > 0.0) ? 1.0 - ss_res / ss_tot : 1.0;
+  fit.rmse = std::sqrt(ss_res / n);
+  return fit;
+}
+
+PowerFit fit_power(std::span<const double> x, std::span<const double> y) {
+  AMRIO_EXPECTS(x.size() == y.size());
+  std::vector<double> lx;
+  std::vector<double> ly;
+  lx.reserve(x.size());
+  ly.reserve(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    AMRIO_EXPECTS_MSG(x[i] > 0 && y[i] > 0, "fit_power needs positive data");
+    lx.push_back(std::log(x[i]));
+    ly.push_back(std::log(y[i]));
+  }
+  const LinearFit lf = fit_linear(lx, ly);
+  PowerFit pf;
+  pf.a = std::exp(lf.intercept);
+  pf.b = lf.slope;
+  pf.r2 = lf.r2;
+  return pf;
+}
+
+}  // namespace amrio::model

@@ -1,0 +1,31 @@
+#pragma once
+/// \file regression.hpp
+/// Ordinary least-squares linear regression — the paper's §I tool ("Linear
+/// regression is then applied to formulate a simple analytical model") used to
+/// classify near-linear vs super-linear cumulative output growth and to fit
+/// the Eq. (3) correction factor.
+
+#include <span>
+
+namespace amrio::model {
+
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;    ///< coefficient of determination
+  double rmse = 0.0;  ///< root mean squared residual
+};
+
+/// Fit y ≈ intercept + slope·x. Requires x.size() == y.size() >= 2 and at
+/// least two distinct x values; throws ContractViolation otherwise.
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y);
+
+/// Fit y ≈ a·x^b via log–log least squares (all inputs must be positive).
+struct PowerFit {
+  double a = 0.0;
+  double b = 0.0;
+  double r2 = 0.0;
+};
+PowerFit fit_power(std::span<const double> x, std::span<const double> y);
+
+}  // namespace amrio::model

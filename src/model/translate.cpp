@@ -1,0 +1,80 @@
+#include "model/translate.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace amrio::model {
+
+macsio::Params static_translation(const amr::AmrInputs& inputs) {
+  macsio::Params p;
+  p.interface = macsio::Interface::kMiftmpl;   // the paper's Summit runs
+  p.file_mode = macsio::FileMode::kMif;
+  p.mif_files = 0;  // MIF nproc: one file per task, AMReX's N-to-N default
+  p.nprocs = inputs.nprocs;
+  // Listing 1: --num_dumps amr.max_step / amr.plot_int, plus the step-0 dump
+  // Castro writes before the first step.
+  const std::int64_t dumps =
+      (inputs.plot_int > 0) ? inputs.max_step / inputs.plot_int + 1 : 1;
+  p.num_dumps = static_cast<int>(std::max<std::int64_t>(dumps, 1));
+  p.avg_num_parts = 1.0;
+  p.vars_per_part = 1;
+  p.compute_time = 0.0;   // runtime-measured; filled by translate()
+  p.meta_size = 0;
+  p.dataset_growth = 1.0;
+  return p;
+}
+
+TranslationResult translate(const amr::AmrInputs& inputs,
+                            const RunMeasurements& measured,
+                            double growth_lo, double growth_hi) {
+  AMRIO_EXPECTS(!measured.per_step_bytes.empty());
+  AMRIO_EXPECTS(measured.first_output_bytes > 0);
+
+  TranslationResult result;
+  macsio::Params base = static_translation(inputs);
+  base.num_dumps = static_cast<int>(measured.per_step_bytes.size());
+  base.compute_time =
+      measured.mean_step_seconds * static_cast<double>(std::max<std::int64_t>(
+                                       inputs.plot_int, 1));
+  base.meta_size = static_cast<std::uint64_t>(
+      std::llround(std::max(measured.metadata_bytes_per_task, 0.0)));
+
+  // Eq. (3): fix the initial size from the first output event.
+  result.part_size_fit =
+      fit_part_size(base, measured.first_output_bytes, inputs.ncells0());
+  base.part_size = result.part_size_fit.part_size;
+
+  // Single-parameter growth calibration against the full series.
+  result.calibration = calibrate_growth(base, measured.per_step_bytes,
+                                        growth_lo, growth_hi);
+  result.params = result.calibration.params;
+  result.command_line = result.params.to_command_line();
+  return result;
+}
+
+void GrowthGuess::add(double cfl, int max_level, double growth) {
+  AMRIO_EXPECTS(growth > 0);
+  points_.push_back(Point{cfl, static_cast<double>(max_level), growth});
+}
+
+double GrowthGuess::interpolate(double cfl, int max_level) const {
+  AMRIO_EXPECTS_MSG(!points_.empty(), "GrowthGuess: empty table");
+  // Normalize the two axes to comparable scales (cfl spans ~0.3, levels ~4).
+  constexpr double kCflScale = 1.0 / 0.1;
+  constexpr double kLevelScale = 1.0 / 1.0;
+  double wsum = 0.0;
+  double acc = 0.0;
+  for (const auto& pt : points_) {
+    const double dc = (pt.cfl - cfl) * kCflScale;
+    const double dl = (pt.level - static_cast<double>(max_level)) * kLevelScale;
+    const double d2 = dc * dc + dl * dl;
+    if (d2 < 1e-12) return pt.growth;  // exact hit
+    const double w = 1.0 / d2;
+    wsum += w;
+    acc += w * pt.growth;
+  }
+  return acc / wsum;
+}
+
+}  // namespace amrio::model

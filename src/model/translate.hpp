@@ -1,0 +1,75 @@
+#pragma once
+/// \file translate.hpp
+/// The paper's Listing 1: the functional form `g` that maps AMReX Castro
+/// inputs (plus measured run characteristics) onto a MACSio command line:
+///
+///   jsrun -n nproc macsio
+///     --interface miftmpl
+///     --parallel_file_mode MIF nproc
+///     --num_dumps max_step/plot_int
+///     --part_size f(amr.n_cell)                  <- Eq. (3) fit
+///     --avg_num_parts 1
+///     --vars_per_part 1
+///     --compute_time f(platform, all_inputs)
+///     --meta_size f(all_inputs)
+///     --dataset_growth f(n_cell, cfl, max_level, ...)  <- calibration
+///
+/// plus the CFL × max_level interpolation table for a dataset_growth initial
+/// guess (paper Appendix A step 4: "the greater the cfl and number of levels,
+/// the greater the data_growth").
+
+#include <span>
+#include <vector>
+
+#include "amr/inputs.hpp"
+#include "macsio/params.hpp"
+#include "model/calibrate.hpp"
+#include "model/partsize.hpp"
+
+namespace amrio::model {
+
+/// Measured characteristics of one AMR run that feed the translation.
+struct RunMeasurements {
+  double first_output_bytes = 0.0;        ///< plt00000 total bytes
+  std::vector<double> per_step_bytes;     ///< bytes of each output event
+  double mean_step_seconds = 0.0;         ///< drives --compute_time
+  double metadata_bytes_per_task = 0.0;   ///< drives --meta_size
+};
+
+struct TranslationResult {
+  macsio::Params params;       ///< the complete MACSio invocation
+  PartSizeFit part_size_fit;   ///< Eq. (3) fit (reports f)
+  CalibrationResult calibration;
+  std::string command_line;    ///< Listing-1 style rendering
+};
+
+/// The static (pre-calibration) part of Listing 1: everything that maps
+/// directly from the inputs file.
+macsio::Params static_translation(const amr::AmrInputs& inputs);
+
+/// Full translation: static mapping, Eq. (3) part-size fit against the first
+/// output, then dataset_growth calibration against the per-step series.
+TranslationResult translate(const amr::AmrInputs& inputs,
+                            const RunMeasurements& measured,
+                            double growth_lo = 1.0, double growth_hi = 1.05);
+
+/// Inverse-distance-weighted interpolation table over (cfl, max_level) for
+/// dataset_growth initial guesses, built from completed calibrations.
+class GrowthGuess {
+ public:
+  void add(double cfl, int max_level, double growth);
+  /// IDW interpolation; exact hits return the stored value. Throws
+  /// ContractViolation when the table is empty.
+  double interpolate(double cfl, int max_level) const;
+  std::size_t size() const { return points_.size(); }
+
+ private:
+  struct Point {
+    double cfl;
+    double level;
+    double growth;
+  };
+  std::vector<Point> points_;
+};
+
+}  // namespace amrio::model

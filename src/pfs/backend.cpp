@@ -1,0 +1,185 @@
+#include "pfs/backend.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+#include "util/format.hpp"
+#include "util/path.hpp"
+
+namespace amrio::pfs {
+
+std::uint64_t StorageBackend::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& path : list("")) total += size(path);
+  return total;
+}
+
+std::uint64_t StorageBackend::file_count() const { return list("").size(); }
+
+// ---------------------------------------------------------------- Memory
+
+FileHandle MemoryBackend::create(const std::string& path) {
+  AMRIO_EXPECTS(!path.empty());
+  std::lock_guard<std::mutex> lock(mu_);
+  const FileHandle h = next_handle_++;
+  open_files_[h] = path;
+  files_[path] = FileRecord{};  // truncate semantics
+  return h;
+}
+
+FileHandle MemoryBackend::open_append(const std::string& path) {
+  AMRIO_EXPECTS(!path.empty());
+  std::lock_guard<std::mutex> lock(mu_);
+  const FileHandle h = next_handle_++;
+  open_files_[h] = path;
+  files_.try_emplace(path);  // keep existing contents
+  return h;
+}
+
+void MemoryBackend::write(FileHandle handle, std::span<const std::byte> data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = open_files_.find(handle);
+  if (it == open_files_.end())
+    throw std::runtime_error("MemoryBackend::write: bad handle");
+  FileRecord& rec = files_[it->second];
+  rec.bytes += data.size();
+  ++rec.nwrites;
+  if (store_contents_)
+    rec.contents.insert(rec.contents.end(), data.begin(), data.end());
+}
+
+void MemoryBackend::close(FileHandle handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (open_files_.erase(handle) == 0)
+    throw std::runtime_error("MemoryBackend::close: bad handle");
+}
+
+bool MemoryBackend::exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.find(path) != files_.end();
+}
+
+std::uint64_t MemoryBackend::size(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end())
+    throw std::runtime_error("MemoryBackend::size: no such file " + path);
+  return it->second.bytes;
+}
+
+std::vector<std::string> MemoryBackend::list(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [path, rec] : files_) {
+    if (util::starts_with(path, prefix)) out.push_back(path);
+  }
+  return out;  // std::map iteration is already sorted
+}
+
+std::vector<std::byte> MemoryBackend::read(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end())
+    throw std::runtime_error("MemoryBackend::read: no such file " + path);
+  if (!store_contents_ && it->second.bytes > 0)
+    throw std::runtime_error(
+        "MemoryBackend::read: contents not retained (counting mode): " + path);
+  return it->second.contents;
+}
+
+// ----------------------------------------------------------------- Posix
+
+PosixBackend::PosixBackend(std::string root) : root_(std::move(root)) {
+  util::make_dirs(root_);
+}
+
+std::string PosixBackend::full_path(const std::string& path) const {
+  return util::path_join(root_, path);
+}
+
+namespace {
+std::FILE* open_for(const std::string& full, const char* mode) {
+  if (const auto slash = full.rfind('/'); slash != std::string::npos)
+    util::make_dirs(full.substr(0, slash));
+  return std::fopen(full.c_str(), mode);
+}
+}  // namespace
+
+FileHandle PosixBackend::create(const std::string& path) {
+  AMRIO_EXPECTS(!path.empty());
+  const std::string full = full_path(path);
+  std::FILE* f = open_for(full, "wb");
+  if (f == nullptr)
+    throw std::runtime_error("PosixBackend: cannot create " + full);
+  std::lock_guard<std::mutex> lock(mu_);
+  const FileHandle h = next_handle_++;
+  open_.emplace(h, std::unique_ptr<std::FILE, int (*)(std::FILE*)>(f, &std::fclose));
+  open_paths_[h] = path;
+  return h;
+}
+
+FileHandle PosixBackend::open_append(const std::string& path) {
+  AMRIO_EXPECTS(!path.empty());
+  const std::string full = full_path(path);
+  std::FILE* f = open_for(full, "ab");
+  if (f == nullptr)
+    throw std::runtime_error("PosixBackend: cannot append " + full);
+  std::lock_guard<std::mutex> lock(mu_);
+  const FileHandle h = next_handle_++;
+  open_.emplace(h, std::unique_ptr<std::FILE, int (*)(std::FILE*)>(f, &std::fclose));
+  open_paths_[h] = path;
+  return h;
+}
+
+void PosixBackend::write(FileHandle handle, std::span<const std::byte> data) {
+  std::FILE* f = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = open_.find(handle);
+    if (it == open_.end())
+      throw std::runtime_error("PosixBackend::write: bad handle");
+    f = it->second.get();
+  }
+  if (!data.empty() &&
+      std::fwrite(data.data(), 1, data.size(), f) != data.size())
+    throw std::runtime_error("PosixBackend::write: short write");
+}
+
+void PosixBackend::close(FileHandle handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (open_.erase(handle) == 0)
+    throw std::runtime_error("PosixBackend::close: bad handle");
+  open_paths_.erase(handle);
+}
+
+bool PosixBackend::exists(const std::string& path) const {
+  return util::path_exists(full_path(path));
+}
+
+std::uint64_t PosixBackend::size(const std::string& path) const {
+  return util::file_size(full_path(path));
+}
+
+std::vector<std::string> PosixBackend::list(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (auto& rel : util::list_files_recursive(root_)) {
+    if (util::starts_with(rel, prefix)) out.push_back(rel);
+  }
+  return out;
+}
+
+std::vector<std::byte> PosixBackend::read(const std::string& path) const {
+  const std::string full = full_path(path);
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(full.c_str(), "rb"), &std::fclose);
+  if (!f) throw std::runtime_error("PosixBackend::read: cannot open " + full);
+  std::vector<std::byte> out;
+  std::byte buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f.get())) > 0)
+    out.insert(out.end(), buf, buf + n);
+  return out;
+}
+
+}  // namespace amrio::pfs

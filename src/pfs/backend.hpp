@@ -1,0 +1,160 @@
+#pragma once
+/// \file backend.hpp
+/// Storage backends. All plotfile/MACSio output flows through this interface
+/// so the same writer code can target a real directory tree (PosixBackend) or
+/// a byte-exact in-memory accounting store (MemoryBackend). The paper's
+/// largest runs (8192² and beyond) are reproduced against the memory backend:
+/// the byte counts are identical, nothing hits disk.
+///
+/// Paths are logical, '/'-separated, relative to the backend root. Backends
+/// are thread-safe: simmpi ranks write concurrently during N-to-N dumps.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace amrio::pfs {
+
+using FileHandle = std::uint64_t;
+
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  /// Create/truncate a file for writing. Parent "directories" are implicit.
+  virtual FileHandle create(const std::string& path) = 0;
+  /// Open for append (create when missing) — MIF groups and SIF shared files
+  /// need multiple sequential writers per file.
+  virtual FileHandle open_append(const std::string& path) = 0;
+  virtual void write(FileHandle handle, std::span<const std::byte> data) = 0;
+  virtual void close(FileHandle handle) = 0;
+
+  virtual bool exists(const std::string& path) const = 0;
+  /// Size of a closed or in-progress file. Throws std::runtime_error if absent.
+  virtual std::uint64_t size(const std::string& path) const = 0;
+  /// All file paths starting with `prefix`, sorted. Empty prefix = everything.
+  virtual std::vector<std::string> list(const std::string& prefix) const = 0;
+  /// Full contents. Throws std::runtime_error when absent or (for the memory
+  /// backend in counting mode) when contents were not retained.
+  virtual std::vector<std::byte> read(const std::string& path) const = 0;
+
+  /// Total bytes across all files (accounting convenience).
+  virtual std::uint64_t total_bytes() const;
+  /// Number of files.
+  virtual std::uint64_t file_count() const;
+};
+
+/// In-memory backend. With `store_contents=false` it keeps only byte counts
+/// ("counting mode") so arbitrarily large dumps cost O(#files) memory.
+class MemoryBackend final : public StorageBackend {
+ public:
+  explicit MemoryBackend(bool store_contents = true)
+      : store_contents_(store_contents) {}
+
+  FileHandle create(const std::string& path) override;
+  FileHandle open_append(const std::string& path) override;
+  void write(FileHandle handle, std::span<const std::byte> data) override;
+  void close(FileHandle handle) override;
+
+  bool exists(const std::string& path) const override;
+  std::uint64_t size(const std::string& path) const override;
+  std::vector<std::string> list(const std::string& prefix) const override;
+  std::vector<std::byte> read(const std::string& path) const override;
+
+  bool stores_contents() const { return store_contents_; }
+
+ private:
+  struct FileRecord {
+    std::uint64_t bytes = 0;
+    std::uint64_t nwrites = 0;
+    std::vector<std::byte> contents;
+  };
+  mutable std::mutex mu_;
+  bool store_contents_;
+  FileHandle next_handle_ = 1;
+  std::map<FileHandle, std::string> open_files_;
+  std::map<std::string, FileRecord> files_;
+};
+
+/// Real-filesystem backend rooted at `root` (created if missing).
+class PosixBackend final : public StorageBackend {
+ public:
+  explicit PosixBackend(std::string root);
+
+  FileHandle create(const std::string& path) override;
+  FileHandle open_append(const std::string& path) override;
+  void write(FileHandle handle, std::span<const std::byte> data) override;
+  void close(FileHandle handle) override;
+
+  bool exists(const std::string& path) const override;
+  std::uint64_t size(const std::string& path) const override;
+  std::vector<std::string> list(const std::string& prefix) const override;
+  std::vector<std::byte> read(const std::string& path) const override;
+
+  const std::string& root() const { return root_; }
+
+ private:
+  std::string full_path(const std::string& path) const;
+  mutable std::mutex mu_;
+  std::string root_;
+  FileHandle next_handle_ = 1;
+  std::map<FileHandle, std::unique_ptr<std::FILE, int (*)(std::FILE*)>> open_;
+  std::map<FileHandle, std::string> open_paths_;
+};
+
+enum class OpenMode { kTruncate, kAppend };
+
+/// RAII writer over a backend file; closes on destruction.
+class OutFile {
+ public:
+  OutFile(StorageBackend& backend, const std::string& path,
+          OpenMode mode = OpenMode::kTruncate)
+      : backend_(&backend),
+        handle_(mode == OpenMode::kTruncate ? backend.create(path)
+                                            : backend.open_append(path)),
+        path_(path) {}
+  ~OutFile() {
+    if (open_) backend_->close(handle_);
+  }
+  OutFile(const OutFile&) = delete;
+  OutFile& operator=(const OutFile&) = delete;
+  OutFile(OutFile&& other) noexcept
+      : backend_(other.backend_), handle_(other.handle_), path_(other.path_),
+        written_(other.written_), open_(other.open_) {
+    other.open_ = false;
+  }
+
+  void write(std::span<const std::byte> data) {
+    backend_->write(handle_, data);
+    written_ += data.size();
+  }
+  void write(std::string_view text) {
+    write(std::as_bytes(std::span<const char>(text.data(), text.size())));
+  }
+  template <typename T>
+  void write_pod(std::span<const T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    write(std::as_bytes(data));
+  }
+  void close() {
+    if (open_) {
+      backend_->close(handle_);
+      open_ = false;
+    }
+  }
+  std::uint64_t bytes_written() const { return written_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  StorageBackend* backend_;
+  FileHandle handle_;
+  std::string path_;
+  std::uint64_t written_ = 0;
+  bool open_ = true;
+};
+
+}  // namespace amrio::pfs

@@ -1,0 +1,134 @@
+#include "pfs/simfs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace amrio::pfs {
+
+namespace {
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+}  // namespace
+
+SimFs::SimFs(SimFsConfig cfg) : cfg_(cfg) {
+  AMRIO_EXPECTS(cfg_.n_ost >= 1);
+  AMRIO_EXPECTS(cfg_.stripe_count >= 1 && cfg_.stripe_count <= cfg_.n_ost);
+  AMRIO_EXPECTS(cfg_.stripe_size >= 1);
+  AMRIO_EXPECTS(cfg_.ost_bandwidth > 0 && cfg_.client_bandwidth > 0);
+  AMRIO_EXPECTS(cfg_.mds_latency >= 0);
+  AMRIO_EXPECTS(cfg_.variability_sigma >= 0);
+}
+
+int SimFs::ost_of(const std::string& file) const {
+  return static_cast<int>(fnv1a(file) % static_cast<std::uint64_t>(cfg_.n_ost));
+}
+
+std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests) {
+  // Request state while in flight.
+  struct Flight {
+    std::size_t index;          // into requests/results
+    std::uint64_t remaining;    // data bytes not yet committed
+    int next_stripe = 0;        // round-robin position in the stripe set
+    int first_ost = 0;
+    double ready = 0.0;         // client-side time the next chunk can issue
+  };
+
+  std::vector<IoResult> results(requests.size());
+
+  // Phase 1: metadata. The MDS services creates FIFO by submit time (ties by
+  // request order, which is deterministic).
+  std::vector<std::size_t> order(requests.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return requests[a].submit_time < requests[b].submit_time;
+                   });
+  double mds_free = 0.0;
+  std::vector<Flight> flights;
+  flights.reserve(requests.size());
+  for (std::size_t idx : order) {
+    const IoRequest& req = requests[idx];
+    AMRIO_EXPECTS(req.client >= 0);
+    const double open_start = std::max(req.submit_time, mds_free);
+    const double open_end = open_start + cfg_.mds_latency;
+    mds_free = open_end;
+    IoResult& res = results[idx];
+    res.open_start = open_start;
+    res.open_end = open_end;
+    res.end = open_end;  // zero-byte files end at create
+    res.bytes = req.bytes;
+    res.first_ost = static_cast<int>(
+        fnv1a(requests[idx].file) % static_cast<std::uint64_t>(cfg_.n_ost));
+    if (req.bytes > 0) {
+      Flight fl;
+      fl.index = idx;
+      fl.remaining = req.bytes;
+      fl.first_ost = res.first_ost;
+      fl.ready = open_end;
+      flights.push_back(fl);
+    }
+  }
+
+  // Phase 2: data chunks, event-driven. Each flight issues one chunk at a
+  // time; the earliest-ready flight goes next (ties broken by request index
+  // for determinism).
+  struct Event {
+    double time;
+    std::size_t flight;
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return flight > other.flight;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> pq;
+  for (std::size_t f = 0; f < flights.size(); ++f)
+    pq.push({flights[f].ready, f});
+
+  std::vector<double> ost_free(static_cast<std::size_t>(cfg_.n_ost), 0.0);
+  util::Xoshiro256 rng(cfg_.seed);
+  const double eff_bw = std::min(cfg_.ost_bandwidth, cfg_.client_bandwidth);
+  // Mean-corrected lognormal: E[exp(sigma Z - sigma^2/2)] = 1, so turning the
+  // noise on does not change mean service time.
+  const double mu = -0.5 * cfg_.variability_sigma * cfg_.variability_sigma;
+
+  while (!pq.empty()) {
+    const Event ev = pq.top();
+    pq.pop();
+    Flight& fl = flights[ev.flight];
+    const std::uint64_t chunk = std::min<std::uint64_t>(fl.remaining, cfg_.stripe_size);
+    const int ost =
+        (fl.first_ost + fl.next_stripe) % cfg_.n_ost;
+    fl.next_stripe = (fl.next_stripe + 1) % cfg_.stripe_count;
+
+    double service = static_cast<double>(chunk) / eff_bw;
+    if (cfg_.variability_sigma > 0)
+      service *= rng.lognormal(mu, cfg_.variability_sigma);
+
+    const double start = std::max(fl.ready, ost_free[static_cast<std::size_t>(ost)]);
+    const double end = start + service;
+    ost_free[static_cast<std::size_t>(ost)] = end;
+    fl.ready = end;
+    fl.remaining -= chunk;
+
+    if (fl.remaining == 0) {
+      results[fl.index].end = end;
+    } else {
+      pq.push({fl.ready, ev.flight});
+    }
+  }
+
+  return results;
+}
+
+}  // namespace amrio::pfs

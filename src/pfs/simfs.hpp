@@ -1,0 +1,76 @@
+#pragma once
+/// \file simfs.hpp
+/// Discrete-event simulator of a striped parallel filesystem (a GPFS/Lustre
+/// hybrid abstraction of Summit's Alpine scratch). The paper calls the timing
+/// side of I/O the "dynamic" system behaviour — bandwidth, file-system
+/// variability, burstiness — and positions the calibrated MACSio proxy as the
+/// workload generator for exactly such studies. This module is the machine
+/// those studies run on when no 250 PB filesystem is at hand.
+///
+/// Model:
+///  * a single metadata server serializes file creates (`mds_latency` each);
+///  * each file is striped over `stripe_count` object storage targets (OSTs)
+///    selected by file-name hash;
+///  * writes are split into `stripe_size` chunks issued round-robin over the
+///    file's OSTs; a client issues its chunks sequentially;
+///  * each OST is a FIFO server with `ost_bandwidth`; each client NIC caps
+///    throughput at `client_bandwidth`;
+///  * optional lognormal service-time noise (`variability_sigma`), seeded —
+///    the same seed always replays the same timeline.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace amrio::pfs {
+
+struct SimFsConfig {
+  int n_ost = 8;
+  double ost_bandwidth = 1.0e9;     ///< bytes/sec per OST
+  double client_bandwidth = 2.0e9;  ///< bytes/sec per client NIC
+  std::uint64_t stripe_size = 1ull << 20;
+  int stripe_count = 1;             ///< OSTs per file
+  double mds_latency = 5.0e-4;      ///< seconds per file create, serialized
+  double variability_sigma = 0.0;   ///< lognormal sigma on chunk service time
+  std::uint64_t seed = 0x5eed;
+};
+
+struct IoRequest {
+  int client = 0;
+  double submit_time = 0.0;
+  std::string file;
+  std::uint64_t bytes = 0;
+};
+
+struct IoResult {
+  double open_start = 0.0;  ///< when the MDS began servicing the create
+  double open_end = 0.0;    ///< create done; first data chunk may be issued
+  double end = 0.0;         ///< last chunk committed
+  int first_ost = 0;        ///< first OST of the stripe set
+  std::uint64_t bytes = 0;
+  double duration() const { return end - open_start; }
+  /// Effective bandwidth seen by this request (bytes/sec).
+  double bandwidth() const {
+    const double d = duration();
+    return d > 0 ? static_cast<double>(bytes) / d : 0.0;
+  }
+};
+
+class SimFs {
+ public:
+  explicit SimFs(SimFsConfig cfg);
+
+  /// Simulate the batch; result[i] corresponds to request[i]. The simulation
+  /// is deterministic for a given config (including seed) and request list.
+  std::vector<IoResult> run(const std::vector<IoRequest>& requests);
+
+  /// First OST index for a file (stable hash), exposed for tests.
+  int ost_of(const std::string& file) const;
+
+  const SimFsConfig& config() const { return cfg_; }
+
+ private:
+  SimFsConfig cfg_;
+};
+
+}  // namespace amrio::pfs

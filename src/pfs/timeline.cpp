@@ -1,0 +1,87 @@
+#include "pfs/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace amrio::pfs {
+
+std::vector<TimelineBin> bandwidth_timeline(const std::vector<IoResult>& results,
+                                            int nbins) {
+  AMRIO_EXPECTS(nbins > 0);
+  std::vector<TimelineBin> bins(static_cast<std::size_t>(nbins));
+  if (results.empty()) return bins;
+
+  double t_min = results.front().open_start;
+  double t_max = results.front().end;
+  for (const auto& r : results) {
+    t_min = std::min(t_min, r.open_start);
+    t_max = std::max(t_max, r.end);
+  }
+  if (t_max <= t_min) t_max = t_min + 1e-12;
+  const double width = (t_max - t_min) / nbins;
+  for (int b = 0; b < nbins; ++b) {
+    bins[static_cast<std::size_t>(b)].t0 = t_min + b * width;
+    bins[static_cast<std::size_t>(b)].t1 = t_min + (b + 1) * width;
+  }
+
+  for (const auto& r : results) {
+    if (r.bytes == 0) continue;
+    const double a = r.open_end;
+    const double b = r.end;
+    const double span = std::max(b - a, 1e-15);
+    const double rate = static_cast<double>(r.bytes) / span;
+    // accumulate the overlap of [a,b) with each bin
+    int first = std::clamp(static_cast<int>((a - t_min) / width), 0, nbins - 1);
+    int last = std::clamp(static_cast<int>((b - t_min) / width), 0, nbins - 1);
+    for (int bin = first; bin <= last; ++bin) {
+      auto& tb = bins[static_cast<std::size_t>(bin)];
+      const double lo = std::max(a, tb.t0);
+      const double hi = std::min(b, tb.t1);
+      if (hi > lo) tb.bytes += rate * (hi - lo);
+    }
+  }
+  return bins;
+}
+
+BurstStats burst_stats(const std::vector<IoResult>& results, int nbins) {
+  BurstStats st;
+  if (results.empty()) return st;
+
+  double t_min = results.front().open_start;
+  double t_max = results.front().end;
+  for (const auto& r : results) {
+    t_min = std::min(t_min, r.open_start);
+    t_max = std::max(t_max, r.end);
+    st.total_bytes += r.bytes;
+  }
+  st.makespan = t_max - t_min;
+
+  // Busy time: union of intervals.
+  std::vector<std::pair<double, double>> ivals;
+  ivals.reserve(results.size());
+  for (const auto& r : results) ivals.emplace_back(r.open_start, r.end);
+  std::sort(ivals.begin(), ivals.end());
+  double cur_lo = ivals.front().first;
+  double cur_hi = ivals.front().second;
+  for (std::size_t i = 1; i < ivals.size(); ++i) {
+    if (ivals[i].first <= cur_hi) {
+      cur_hi = std::max(cur_hi, ivals[i].second);
+    } else {
+      st.busy_time += cur_hi - cur_lo;
+      cur_lo = ivals[i].first;
+      cur_hi = ivals[i].second;
+    }
+  }
+  st.busy_time += cur_hi - cur_lo;
+  st.duty_cycle = st.makespan > 0 ? st.busy_time / st.makespan : 0.0;
+
+  const auto bins = bandwidth_timeline(results, nbins);
+  for (const auto& b : bins) st.peak_bandwidth = std::max(st.peak_bandwidth, b.bandwidth());
+  st.mean_bandwidth =
+      st.makespan > 0 ? static_cast<double>(st.total_bytes) / st.makespan : 0.0;
+  return st;
+}
+
+}  // namespace amrio::pfs

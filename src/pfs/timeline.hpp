@@ -1,0 +1,36 @@
+#pragma once
+/// \file timeline.hpp
+/// Aggregation of SimFs results into the burstiness metrics the paper's
+/// "dynamic" studies care about: aggregate bandwidth over time, I/O duty
+/// cycle, and per-burst summaries.
+
+#include <vector>
+
+#include "pfs/simfs.hpp"
+
+namespace amrio::pfs {
+
+struct TimelineBin {
+  double t0 = 0.0;
+  double t1 = 0.0;
+  double bytes = 0.0;  ///< bytes committed within [t0,t1)
+  double bandwidth() const { return (t1 > t0) ? bytes / (t1 - t0) : 0.0; }
+};
+
+/// Spread each request's bytes uniformly over [open_end, end) and bin into
+/// `nbins` equal windows covering the full run.
+std::vector<TimelineBin> bandwidth_timeline(const std::vector<IoResult>& results,
+                                            int nbins);
+
+struct BurstStats {
+  double makespan = 0.0;        ///< last end - first open_start
+  double busy_time = 0.0;       ///< union of [open_start, end) intervals
+  double duty_cycle = 0.0;      ///< busy_time / makespan
+  double peak_bandwidth = 0.0;  ///< max over timeline bins
+  double mean_bandwidth = 0.0;  ///< total bytes / makespan
+  std::uint64_t total_bytes = 0;
+};
+
+BurstStats burst_stats(const std::vector<IoResult>& results, int nbins = 100);
+
+}  // namespace amrio::pfs

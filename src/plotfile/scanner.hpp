@@ -1,0 +1,33 @@
+#pragma once
+/// \file scanner.hpp
+/// Walks a storage backend and measures every plotfile tree under a prefix,
+/// producing the per-(step, level, task) byte table the paper builds from its
+/// Summit runs ("quantify the cumulative output sizes at each requested time
+/// interval, refinement level, and task").
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "iostats/aggregate.hpp"
+#include "pfs/backend.hpp"
+
+namespace amrio::plotfile {
+
+struct ScanResult {
+  iostats::SizeTable table;
+  std::vector<std::string> plotfile_dirs;  ///< sorted by step
+  std::uint64_t total_bytes = 0;
+  std::uint64_t nfiles = 0;
+};
+
+/// Scan all plotfile directories named `<plot_prefix><digits>` in `backend`.
+/// File classification:
+///   <dir>/Header, <dir>/job_info          -> (step, level=-1, rank=-1)
+///   <dir>/Level_k/Cell_H                  -> (step, k, rank=-1)
+///   <dir>/Level_k/Cell_D_r                -> (step, k, r)
+/// Unrecognized files under a plotfile dir are counted as top-level metadata.
+ScanResult scan_plotfiles(const pfs::StorageBackend& backend,
+                          const std::string& plot_prefix);
+
+}  // namespace amrio::plotfile

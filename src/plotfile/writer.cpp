@@ -1,0 +1,374 @@
+#include "plotfile/writer.hpp"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "plotfile/fab_io.hpp"
+#include "util/assert.hpp"
+#include "util/format.hpp"
+
+namespace amrio::plotfile {
+
+std::string fixed_real(double v) {
+  char buf[64];
+  // space flag reserves a column for the sign; precision 17 round-trips
+  // doubles; width padding absorbs the 2-vs-3-digit exponent so every real
+  // occupies exactly 26 characters and metadata sizes are data-independent.
+  std::snprintf(buf, sizeof(buf), "% .17e", v);
+  std::string s = buf;
+  if (s.size() < 26) s.append(26 - s.size(), ' ');
+  AMRIO_ENSURES(s.size() == 26);
+  return s;
+}
+
+namespace {
+
+struct FabRef {
+  std::size_t box_index = 0;
+  std::string file;       // basename within the level dir
+  std::uint64_t offset = 0;
+};
+
+/// Per-level plan: which rank writes which boxes to which file, with offsets.
+struct LevelPlan {
+  std::vector<FabRef> fabs;                   // indexed by box index
+  std::map<int, std::vector<std::size_t>> rank_boxes;  // rank -> box indices
+  std::map<int, std::uint64_t> rank_bytes;    // Cell_D payload per rank
+};
+
+LevelPlan plan_level(const mesh::BoxArray& ba, const mesh::DistributionMapping& dm,
+                     int ncomp) {
+  LevelPlan plan;
+  plan.fabs.resize(ba.size());
+  for (int rank = 0; rank < dm.nranks(); ++rank) {
+    auto boxes = dm.boxes_of(rank);
+    if (boxes.empty()) continue;  // no file for this task at this level
+    const std::string file = "Cell_D_" + util::zero_pad(static_cast<std::uint64_t>(rank), 5);
+    std::uint64_t offset = 0;
+    for (std::size_t bi : boxes) {
+      plan.fabs[bi] = FabRef{bi, file, offset};
+      offset += fab_disk_size(ba[bi], ncomp);
+    }
+    plan.rank_boxes[rank] = std::move(boxes);
+    plan.rank_bytes[rank] = offset;
+  }
+  return plan;
+}
+
+/// Cell_H text. min/max tables take a provider so the predict path can emit
+/// same-width placeholders.
+template <typename MinMaxFn>
+std::string cell_h_text(const mesh::BoxArray& ba, int ncomp,
+                        const LevelPlan& plan, MinMaxFn&& minmax) {
+  std::ostringstream os;
+  os << "1\n";  // version
+  os << "1\n";  // how (one fab per grid)
+  os << ncomp << '\n';
+  os << "0\n";  // nghost on disk
+  os << '(' << ba.size() << " 0\n";
+  for (std::size_t i = 0; i < ba.size(); ++i) os << ba[i] << '\n';
+  os << ")\n";
+  os << ba.size() << '\n';
+  for (std::size_t i = 0; i < ba.size(); ++i) {
+    os << "FabOnDisk: " << plan.fabs[i].file << ' ' << plan.fabs[i].offset
+       << '\n';
+  }
+  os << '\n' << ba.size() << ',' << ncomp << '\n';
+  for (std::size_t i = 0; i < ba.size(); ++i) {
+    for (int n = 0; n < ncomp; ++n) os << fixed_real(minmax(i, n, false)) << ',';
+    os << '\n';
+  }
+  os << '\n' << ba.size() << ',' << ncomp << '\n';
+  for (std::size_t i = 0; i < ba.size(); ++i) {
+    for (int n = 0; n < ncomp; ++n) os << fixed_real(minmax(i, n, true)) << ',';
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string header_text(const PlotfileSpec& spec,
+                        const std::vector<LevelLayout>& levels) {
+  AMRIO_EXPECTS(!levels.empty());
+  std::ostringstream os;
+  os << "HyperCLaw-V1.1\n";
+  os << spec.var_names.size() << '\n';
+  for (const auto& v : spec.var_names) os << v << '\n';
+  os << mesh::kSpaceDim << '\n';
+  os << fixed_real(spec.time) << '\n';
+  const int finest = static_cast<int>(levels.size()) - 1;
+  os << finest << '\n';
+  const auto& g0 = levels.front().geom;
+  os << fixed_real(g0.prob_lo()[0]) << ' ' << fixed_real(g0.prob_lo()[1]) << '\n';
+  os << fixed_real(g0.prob_hi()[0]) << ' ' << fixed_real(g0.prob_hi()[1]) << '\n';
+  for (int l = 0; l < finest; ++l) os << spec.ref_ratio << ' ';
+  os << '\n';
+  for (const auto& lev : levels) os << lev.geom.domain() << ' ';
+  os << '\n';
+  for (std::size_t l = 0; l < levels.size(); ++l) os << spec.step << ' ';
+  os << '\n';
+  for (const auto& lev : levels) {
+    os << fixed_real(lev.geom.cell_size(0)) << ' '
+       << fixed_real(lev.geom.cell_size(1)) << '\n';
+  }
+  os << "0\n";  // coord_sys: cartesian (Listing 2 geometry.coord_sys = 0)
+  os << "0\n";  // boundary width
+  for (std::size_t l = 0; l < levels.size(); ++l) {
+    const auto& lev = levels[l];
+    os << l << ' ' << lev.ba.size() << ' ' << fixed_real(spec.time) << '\n';
+    os << spec.step << '\n';
+    for (std::size_t i = 0; i < lev.ba.size(); ++i) {
+      const auto& b = lev.ba[i];
+      for (int d = 0; d < mesh::kSpaceDim; ++d) {
+        const double lo = lev.geom.cell_lo({b.lo(0), b.lo(1)})[static_cast<std::size_t>(d)];
+        const auto hi_cell = mesh::IntVect(b.hi(0) + 1, b.hi(1) + 1);
+        const double hi = lev.geom.cell_lo(hi_cell)[static_cast<std::size_t>(d)];
+        os << fixed_real(lo) << ' ' << fixed_real(hi) << '\n';
+      }
+    }
+    os << "Level_" << l << "/Cell\n";
+  }
+  return os.str();
+}
+
+void trace_meta(iostats::TraceRecorder* trace, std::int64_t step, int level,
+                const std::string& path, std::uint64_t bytes) {
+  if (trace != nullptr) trace->record_write(step, level, -1, path, bytes);
+}
+
+/// Shared implementation: `data_levels` may be empty (predict mode), in which
+/// case min/max placeholders are written and Cell_D contents are not emitted.
+WriteStats write_impl(pfs::StorageBackend* backend, const PlotfileSpec& spec,
+                      const std::vector<LevelLayout>& layouts,
+                      const std::vector<LevelPlotData>& data_levels, int ncomp,
+                      iostats::TraceRecorder* trace, bool checkpoint) {
+  AMRIO_EXPECTS(!layouts.empty());
+  AMRIO_EXPECTS(ncomp >= 1);
+  const bool real_write = backend != nullptr;
+  AMRIO_EXPECTS(!real_write || data_levels.size() == layouts.size());
+
+  WriteStats stats;
+  stats.rank_level_bytes.assign(layouts.size(), {});
+
+  // ---- per-level data files + Cell_H
+  for (std::size_t l = 0; l < layouts.size(); ++l) {
+    const auto& layout = layouts[l];
+    const int nranks = layout.dm.nranks();
+    stats.rank_level_bytes[l].assign(static_cast<std::size_t>(nranks), 0);
+    const LevelPlan plan = plan_level(layout.ba, layout.dm, ncomp);
+    const std::string level_dir =
+        spec.dir + "/Level_" + std::to_string(l);
+
+    for (const auto& [rank, boxes] : plan.rank_boxes) {
+      const std::string path = level_dir + "/" + plan.fabs[boxes.front()].file;
+      std::uint64_t written = 0;
+      if (real_write) {
+        pfs::OutFile out(*backend, path);
+        const auto& mf = *data_levels[l].data;
+        for (std::size_t bi : boxes)
+          written += write_fab(out, mf.fab(bi), mf.valid_box(bi));
+      } else {
+        written = plan.rank_bytes.at(rank);
+      }
+      AMRIO_ENSURES(written == plan.rank_bytes.at(rank));
+      stats.rank_level_bytes[l][static_cast<std::size_t>(rank)] = written;
+      stats.data_bytes += written;
+      ++stats.nfiles;
+      if (trace != nullptr)
+        trace->record_write(spec.step, static_cast<int>(l), rank, path, written);
+    }
+
+    std::string cell_h;
+    if (real_write) {
+      const auto& mf = *data_levels[l].data;
+      cell_h = cell_h_text(layout.ba, ncomp, plan,
+                           [&mf](std::size_t i, int n, bool want_max) {
+                             return want_max
+                                        ? mf.fab(i).max(mf.valid_box(i), n)
+                                        : mf.fab(i).min(mf.valid_box(i), n);
+                           });
+    } else {
+      cell_h = cell_h_text(layout.ba, ncomp, plan,
+                           [](std::size_t, int, bool) { return 0.0; });
+    }
+    const std::string cell_h_path = level_dir + "/Cell_H";
+    if (real_write) {
+      pfs::OutFile out(*backend, cell_h_path);
+      out.write(cell_h);
+    }
+    stats.metadata_bytes += cell_h.size();
+    ++stats.nfiles;
+    trace_meta(trace, spec.step, static_cast<int>(l), cell_h_path, cell_h.size());
+  }
+
+  // ---- top-level Header and job_info
+  std::string header = header_text(spec, layouts);
+  if (checkpoint) header = "CheckPointVersion_1.0\n" + header;
+  const std::string header_path = spec.dir + "/Header";
+  if (real_write) {
+    pfs::OutFile out(*backend, header_path);
+    out.write(header);
+  }
+  stats.metadata_bytes += header.size();
+  ++stats.nfiles;
+  trace_meta(trace, spec.step, -1, header_path, header.size());
+
+  const std::string job_info_path = spec.dir + "/job_info";
+  if (real_write) {
+    pfs::OutFile out(*backend, job_info_path);
+    out.write(spec.job_info);
+  }
+  stats.metadata_bytes += spec.job_info.size();
+  ++stats.nfiles;
+  trace_meta(trace, spec.step, -1, job_info_path, spec.job_info.size());
+
+  stats.total_bytes = stats.metadata_bytes + stats.data_bytes;
+  return stats;
+}
+
+std::vector<LevelLayout> layouts_of(const std::vector<LevelPlotData>& levels) {
+  std::vector<LevelLayout> out;
+  out.reserve(levels.size());
+  for (const auto& lev : levels) {
+    AMRIO_EXPECTS(lev.data != nullptr);
+    out.push_back(LevelLayout{lev.geom, lev.data->box_array(),
+                              lev.data->distribution()});
+  }
+  return out;
+}
+
+}  // namespace
+
+WriteStats write_plotfile(pfs::StorageBackend& backend, const PlotfileSpec& spec,
+                          const std::vector<LevelPlotData>& levels,
+                          iostats::TraceRecorder* trace) {
+  AMRIO_EXPECTS(!levels.empty());
+  const int ncomp = levels.front().data->ncomp();
+  AMRIO_EXPECTS_MSG(static_cast<std::size_t>(ncomp) == spec.var_names.size(),
+                    "plotfile var_names must match data components");
+  return write_impl(&backend, spec, layouts_of(levels), levels, ncomp, trace,
+                    /*checkpoint=*/false);
+}
+
+WriteStats predict_plotfile(const PlotfileSpec& spec,
+                            const std::vector<LevelLayout>& levels, int ncomp,
+                            iostats::TraceRecorder* trace) {
+  return write_impl(nullptr, spec, levels, {}, ncomp, trace,
+                    /*checkpoint=*/false);
+}
+
+WriteStats write_checkpoint(pfs::StorageBackend& backend,
+                            const PlotfileSpec& spec,
+                            const std::vector<LevelPlotData>& levels,
+                            iostats::TraceRecorder* trace) {
+  AMRIO_EXPECTS(!levels.empty());
+  const int ncomp = levels.front().data->ncomp();
+  AMRIO_EXPECTS_MSG(static_cast<std::size_t>(ncomp) == spec.var_names.size(),
+                    "checkpoint var_names must match data components");
+  return write_impl(&backend, spec, layouts_of(levels), levels, ncomp, trace,
+                    /*checkpoint=*/true);
+}
+
+WriteStats write_plotfile_spmd(simmpi::Comm& comm, pfs::StorageBackend& backend,
+                               const PlotfileSpec& spec,
+                               const std::vector<LevelPlotData>& levels,
+                               iostats::TraceRecorder* trace) {
+  AMRIO_EXPECTS(!levels.empty());
+  const int ncomp = levels.front().data->ncomp();
+  AMRIO_EXPECTS_MSG(static_cast<std::size_t>(ncomp) == spec.var_names.size(),
+                    "plotfile var_names must match data components");
+  const int rank = comm.rank();
+  const auto layouts = layouts_of(levels);
+  for (const auto& lay : layouts)
+    AMRIO_EXPECTS_MSG(lay.dm.nranks() == comm.size(),
+                      "write_plotfile_spmd: DM ranks " << lay.dm.nranks()
+                                                       << " != comm size "
+                                                       << comm.size());
+
+  WriteStats stats;
+  stats.rank_level_bytes.assign(layouts.size(), {});
+
+  // Phase 1: every rank writes its own Cell_D files, concurrently.
+  for (std::size_t l = 0; l < layouts.size(); ++l) {
+    const auto& layout = layouts[l];
+    stats.rank_level_bytes[l].assign(static_cast<std::size_t>(comm.size()), 0);
+    const auto my_boxes = layout.dm.boxes_of(rank);
+    std::uint64_t written = 0;
+    if (!my_boxes.empty()) {
+      const std::string path =
+          spec.dir + "/Level_" + std::to_string(l) + "/Cell_D_" +
+          util::zero_pad(static_cast<std::uint64_t>(rank), 5);
+      pfs::OutFile out(backend, path);
+      const auto& mf = *levels[l].data;
+      for (std::size_t bi : my_boxes)
+        written += write_fab(out, mf.fab(bi), mf.valid_box(bi));
+      if (trace != nullptr)
+        trace->record_write(spec.step, static_cast<int>(l), rank, path, written);
+    }
+    // Gather per-rank data bytes — the collective AMReX performs so the
+    // metadata writer knows every FabOnDisk offset is consistent.
+    const auto all_bytes = comm.gather(written, 0);
+    if (rank == 0) {
+      for (int r = 0; r < comm.size(); ++r) {
+        stats.rank_level_bytes[l][static_cast<std::size_t>(r)] =
+            all_bytes[static_cast<std::size_t>(r)];
+        stats.data_bytes += all_bytes[static_cast<std::size_t>(r)];
+      }
+      // cross-check the gathered totals against the deterministic plan
+      const LevelPlan plan = plan_level(layout.ba, layout.dm, ncomp);
+      for (const auto& [r, bytes] : plan.rank_bytes) {
+        AMRIO_ENSURES(stats.rank_level_bytes[l][static_cast<std::size_t>(r)] ==
+                      bytes);
+      }
+      stats.nfiles += plan.rank_boxes.size();
+    } else {
+      stats.rank_level_bytes[l][static_cast<std::size_t>(rank)] = written;
+      stats.data_bytes += written;
+      if (written > 0) ++stats.nfiles;
+    }
+  }
+  comm.barrier();
+
+  // Phase 2: rank 0 writes all metadata (Cell_H per level, Header, job_info).
+  if (rank == 0) {
+    for (std::size_t l = 0; l < layouts.size(); ++l) {
+      const auto& layout = layouts[l];
+      const LevelPlan plan = plan_level(layout.ba, layout.dm, ncomp);
+      const auto& mf = *levels[l].data;
+      const std::string cell_h =
+          cell_h_text(layout.ba, ncomp, plan,
+                      [&mf](std::size_t i, int n, bool want_max) {
+                        return want_max ? mf.fab(i).max(mf.valid_box(i), n)
+                                        : mf.fab(i).min(mf.valid_box(i), n);
+                      });
+      const std::string path =
+          spec.dir + "/Level_" + std::to_string(l) + "/Cell_H";
+      pfs::OutFile out(backend, path);
+      out.write(cell_h);
+      stats.metadata_bytes += cell_h.size();
+      ++stats.nfiles;
+      trace_meta(trace, spec.step, static_cast<int>(l), path, cell_h.size());
+    }
+    const std::string header = header_text(spec, layouts);
+    {
+      pfs::OutFile out(backend, spec.dir + "/Header");
+      out.write(header);
+    }
+    stats.metadata_bytes += header.size();
+    ++stats.nfiles;
+    trace_meta(trace, spec.step, -1, spec.dir + "/Header", header.size());
+    {
+      pfs::OutFile out(backend, spec.dir + "/job_info");
+      out.write(spec.job_info);
+    }
+    stats.metadata_bytes += spec.job_info.size();
+    ++stats.nfiles;
+    trace_meta(trace, spec.step, -1, spec.dir + "/job_info",
+               spec.job_info.size());
+  }
+  comm.barrier();
+  stats.total_bytes = stats.metadata_bytes + stats.data_bytes;
+  return stats;
+}
+
+}  // namespace amrio::plotfile

@@ -1,0 +1,292 @@
+#pragma once
+/// \file comm.hpp
+/// Simulated MPI: an SPMD communicator over in-process threads.
+///
+/// The paper's runs use `jsrun -n nproc` on Summit; this library replays the
+/// same rank-parallel structure inside one process so the study runs with no
+/// MPI installation. Each virtual rank is a thread; collectives synchronize
+/// through a shared std::barrier and staging slots, and point-to-point
+/// messages go through per-(src,dst,tag) mailboxes.
+///
+/// Semantics follow MPI where it matters for the proxy workloads:
+///  * collectives must be called by every rank (SPMD lockstep);
+///  * `gather`/`gatherv` deliver data only at the root;
+///  * `exscan` gives rank 0 the identity element (used for SIF file offsets);
+///  * an uncaught exception on any rank aborts the communicator: every other
+///    rank receives `CommAborted` at its next synchronization point and
+///    `run_spmd` rethrows the original error.
+///
+/// Only trivially copyable element types are supported (as with MPI datatypes).
+
+#include <barrier>
+#include <condition_variable>
+#include <cstddef>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace amrio::simmpi {
+
+/// Thrown on surviving ranks when a peer rank failed.
+class CommAborted : public std::runtime_error {
+ public:
+  CommAborted() : std::runtime_error("simmpi: communicator aborted by peer failure") {}
+};
+
+/// Thrown when a blocking recv exceeds its timeout (deadlock guard).
+class RecvTimeout : public std::runtime_error {
+ public:
+  explicit RecvTimeout(const std::string& what) : std::runtime_error(what) {}
+};
+
+enum class ReduceOp { kSum, kMin, kMax, kProd };
+
+namespace detail {
+struct State;
+}
+
+/// Per-rank handle onto the shared communicator state. Cheap to copy within a
+/// rank; never share one Comm object across threads.
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const { return size_; }
+
+  /// Synchronize all ranks. Throws CommAborted if a peer failed.
+  void barrier();
+
+  /// Broadcast `data` (same count on every rank) from `root`.
+  template <typename T>
+  void bcast(std::span<T> data, int root);
+
+  /// All-reduce a single value.
+  template <typename T>
+  T allreduce(T local, ReduceOp op);
+
+  /// Element-wise all-reduce of equal-length vectors.
+  template <typename T>
+  void allreduce(std::span<const T> local, std::span<T> out, ReduceOp op);
+
+  /// Reduce to root; non-root ranks get T{}.
+  template <typename T>
+  T reduce(T local, ReduceOp op, int root);
+
+  /// Exclusive prefix sum: rank r receives sum of values on ranks < r
+  /// (rank 0 gets T{}). Matches MPI_Exscan with MPI_SUM.
+  template <typename T>
+  T exscan_sum(T local);
+
+  /// Gather one value per rank to root (root gets size() values, others none).
+  template <typename T>
+  std::vector<T> gather(T local, int root);
+
+  /// Gather one value per rank to every rank.
+  template <typename T>
+  std::vector<T> allgather(T local);
+
+  /// Variable-length gather to root; concatenated in rank order at root.
+  template <typename T>
+  std::vector<T> gatherv(std::span<const T> local, int root);
+
+  /// Blocking tagged send (buffered: returns once the message is enqueued).
+  template <typename T>
+  void send(std::span<const T> data, int dest, int tag);
+
+  /// Blocking tagged receive; throws RecvTimeout after `timeout_sec`.
+  template <typename T>
+  std::vector<T> recv(int src, int tag, double timeout_sec = 30.0);
+
+ private:
+  friend void run_spmd(int, const std::function<void(Comm&)>&);
+  Comm(int rank, int size, detail::State* state)
+      : rank_(rank), size_(size), state_(state) {}
+
+  void put_slot(const void* p);
+  const void* get_slot(int rank) const;
+  void send_bytes(const void* data, std::size_t bytes, int dest, int tag);
+  std::vector<std::byte> recv_bytes(int src, int tag, double timeout_sec);
+  void stage_bytes(std::span<const std::byte> bytes);
+  std::span<const std::byte> staged_bytes(int rank) const;
+
+  int rank_;
+  int size_;
+  detail::State* state_;
+};
+
+/// Run `fn` on `nranks` virtual ranks (threads). Blocks until all ranks
+/// finish; rethrows the first rank exception, if any.
+void run_spmd(int nranks, const std::function<void(Comm&)>& fn);
+
+// ---------------------------------------------------------------------------
+// template implementations
+
+namespace detail {
+template <typename T>
+T combine(T a, T b, ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kSum: return a + b;
+    case ReduceOp::kMin: return b < a ? b : a;
+    case ReduceOp::kMax: return a < b ? b : a;
+    case ReduceOp::kProd: return a * b;
+  }
+  return a;
+}
+}  // namespace detail
+
+template <typename T>
+void Comm::bcast(std::span<T> data, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  AMRIO_EXPECTS(root >= 0 && root < size_);
+  if (size_ == 1) return;
+  put_slot(data.data());
+  barrier();
+  if (rank_ != root) {
+    std::memcpy(data.data(), get_slot(root), data.size_bytes());
+  }
+  barrier();
+}
+
+template <typename T>
+T Comm::allreduce(T local, ReduceOp op) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (size_ == 1) return local;
+  put_slot(&local);
+  barrier();
+  T acc = *static_cast<const T*>(get_slot(0));
+  for (int r = 1; r < size_; ++r)
+    acc = detail::combine(acc, *static_cast<const T*>(get_slot(r)), op);
+  barrier();
+  return acc;
+}
+
+template <typename T>
+void Comm::allreduce(std::span<const T> local, std::span<T> out, ReduceOp op) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  AMRIO_EXPECTS(local.size() == out.size());
+  if (size_ == 1) {
+    std::copy(local.begin(), local.end(), out.begin());
+    return;
+  }
+  put_slot(local.data());
+  barrier();
+  for (std::size_t i = 0; i < local.size(); ++i) {
+    T acc = static_cast<const T*>(get_slot(0))[i];
+    for (int r = 1; r < size_; ++r)
+      acc = detail::combine(acc, static_cast<const T*>(get_slot(r))[i], op);
+    out[i] = acc;
+  }
+  barrier();
+}
+
+template <typename T>
+T Comm::reduce(T local, ReduceOp op, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  AMRIO_EXPECTS(root >= 0 && root < size_);
+  if (size_ == 1) return local;
+  put_slot(&local);
+  barrier();
+  T acc{};
+  if (rank_ == root) {
+    acc = *static_cast<const T*>(get_slot(0));
+    for (int r = 1; r < size_; ++r)
+      acc = detail::combine(acc, *static_cast<const T*>(get_slot(r)), op);
+  }
+  barrier();
+  return acc;
+}
+
+template <typename T>
+T Comm::exscan_sum(T local) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (size_ == 1) return T{};
+  put_slot(&local);
+  barrier();
+  T acc{};
+  for (int r = 0; r < rank_; ++r)
+    acc = acc + *static_cast<const T*>(get_slot(r));
+  barrier();
+  return acc;
+}
+
+template <typename T>
+std::vector<T> Comm::gather(T local, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  AMRIO_EXPECTS(root >= 0 && root < size_);
+  if (size_ == 1) return {local};
+  put_slot(&local);
+  barrier();
+  std::vector<T> out;
+  if (rank_ == root) {
+    out.reserve(static_cast<std::size_t>(size_));
+    for (int r = 0; r < size_; ++r)
+      out.push_back(*static_cast<const T*>(get_slot(r)));
+  }
+  barrier();
+  return out;
+}
+
+template <typename T>
+std::vector<T> Comm::allgather(T local) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (size_ == 1) return {local};
+  put_slot(&local);
+  barrier();
+  std::vector<T> out;
+  out.reserve(static_cast<std::size_t>(size_));
+  for (int r = 0; r < size_; ++r)
+    out.push_back(*static_cast<const T*>(get_slot(r)));
+  barrier();
+  return out;
+}
+
+template <typename T>
+std::vector<T> Comm::gatherv(std::span<const T> local, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  AMRIO_EXPECTS(root >= 0 && root < size_);
+  if (size_ == 1) return {local.begin(), local.end()};
+  stage_bytes(std::as_bytes(local));
+  barrier();
+  std::vector<T> out;
+  if (rank_ == root) {
+    for (int r = 0; r < size_; ++r) {
+      const auto bytes = staged_bytes(r);
+      AMRIO_ENSURES(bytes.size() % sizeof(T) == 0);
+      const std::size_t n = bytes.size() / sizeof(T);
+      const std::size_t old = out.size();
+      out.resize(old + n);
+      std::memcpy(out.data() + old, bytes.data(), bytes.size());
+    }
+  }
+  barrier();
+  return out;
+}
+
+template <typename T>
+void Comm::send(std::span<const T> data, int dest, int tag) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  AMRIO_EXPECTS(dest >= 0 && dest < size_);
+  AMRIO_EXPECTS(dest != rank_);
+  send_bytes(data.data(), data.size_bytes(), dest, tag);
+}
+
+template <typename T>
+std::vector<T> Comm::recv(int src, int tag, double timeout_sec) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  AMRIO_EXPECTS(src >= 0 && src < size_);
+  AMRIO_EXPECTS(src != rank_);
+  const std::vector<std::byte> bytes = recv_bytes(src, tag, timeout_sec);
+  AMRIO_ENSURES(bytes.size() % sizeof(T) == 0);
+  std::vector<T> out(bytes.size() / sizeof(T));
+  std::memcpy(out.data(), bytes.data(), bytes.size());
+  return out;
+}
+
+}  // namespace amrio::simmpi

@@ -1,0 +1,141 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/format.hpp"
+
+namespace amrio::util {
+
+namespace {
+double transform(double v, bool log_scale) {
+  if (!log_scale) return v;
+  return std::log10(std::max(v, 1e-300));
+}
+}  // namespace
+
+std::string plot_xy(const std::vector<Series>& series, const PlotOptions& opts) {
+  AMRIO_EXPECTS(opts.width >= 16 && opts.height >= 4);
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -xmin;
+  double ymin = xmin;
+  double ymax = -xmin;
+  bool any = false;
+  for (const auto& s : series) {
+    AMRIO_EXPECTS(s.x.size() == s.y.size());
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if (opts.log_x && s.x[i] <= 0) continue;
+      if (opts.log_y && s.y[i] <= 0) continue;
+      const double x = transform(s.x[i], opts.log_x);
+      const double y = transform(s.y[i], opts.log_y);
+      xmin = std::min(xmin, x);
+      xmax = std::max(xmax, x);
+      ymin = std::min(ymin, y);
+      ymax = std::max(ymax, y);
+      any = true;
+    }
+  }
+  std::ostringstream os;
+  if (!opts.title.empty()) os << opts.title << '\n';
+  if (!any) {
+    os << "(no plottable points)\n";
+    return os.str();
+  }
+  if (xmax <= xmin) xmax = xmin + 1.0;
+  if (ymax <= ymin) ymax = ymin + 1.0;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(opts.height),
+                                std::string(static_cast<std::size_t>(opts.width), ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = static_cast<char>('a' + (si % 26));
+    const auto& s = series[si];
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if (opts.log_x && s.x[i] <= 0) continue;
+      if (opts.log_y && s.y[i] <= 0) continue;
+      const double x = transform(s.x[i], opts.log_x);
+      const double y = transform(s.y[i], opts.log_y);
+      int col = static_cast<int>(std::lround((x - xmin) / (xmax - xmin) *
+                                             (opts.width - 1)));
+      int row = static_cast<int>(std::lround((y - ymin) / (ymax - ymin) *
+                                             (opts.height - 1)));
+      col = std::clamp(col, 0, opts.width - 1);
+      row = std::clamp(row, 0, opts.height - 1);
+      // row 0 at the top of the output
+      grid[static_cast<std::size_t>(opts.height - 1 - row)]
+          [static_cast<std::size_t>(col)] = glyph;
+    }
+  }
+
+  const std::string ymax_s = format_g(opts.log_y ? std::pow(10, ymax) : ymax, 4);
+  const std::string ymin_s = format_g(opts.log_y ? std::pow(10, ymin) : ymin, 4);
+  os << "  " << opts.y_label << (opts.log_y ? " (log)" : "") << '\n';
+  for (int r = 0; r < opts.height; ++r) {
+    if (r == 0)
+      os << ymax_s << std::string(ymax_s.size() < 10 ? 10 - ymax_s.size() : 1, ' ');
+    else if (r == opts.height - 1)
+      os << ymin_s << std::string(ymin_s.size() < 10 ? 10 - ymin_s.size() : 1, ' ');
+    else
+      os << std::string(10, ' ');
+    os << '|' << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  os << std::string(10, ' ') << '+' << std::string(static_cast<std::size_t>(opts.width), '-')
+     << '\n';
+  os << std::string(11, ' ')
+     << format_g(opts.log_x ? std::pow(10, xmin) : xmin, 4) << " .. "
+     << format_g(opts.log_x ? std::pow(10, xmax) : xmax, 4) << "  ["
+     << opts.x_label << (opts.log_x ? ", log" : "") << "]\n";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    os << "  (" << static_cast<char>('a' + (si % 26)) << ") " << series[si].label
+       << '\n';
+  }
+  return os.str();
+}
+
+std::string heatmap(const std::vector<double>& field, int nx, int ny,
+                    const std::string& title, int max_cols) {
+  AMRIO_EXPECTS(nx > 0 && ny > 0);
+  AMRIO_EXPECTS(static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) ==
+                field.size());
+  static constexpr const char* kShades = " .:-=+*#%@";
+  const int nshades = 10;
+
+  const int stride = std::max(1, nx / max_cols);
+  const int out_nx = (nx + stride - 1) / stride;
+  const int out_ny = (ny + stride - 1) / stride;
+
+  double vmin = field[0];
+  double vmax = field[0];
+  for (double v : field) {
+    vmin = std::min(vmin, v);
+    vmax = std::max(vmax, v);
+  }
+  const double range = (vmax > vmin) ? (vmax - vmin) : 1.0;
+
+  std::ostringstream os;
+  if (!title.empty())
+    os << title << "  [min=" << format_g(vmin, 4) << " max=" << format_g(vmax, 4)
+       << "]\n";
+  for (int oj = out_ny - 1; oj >= 0; --oj) {
+    for (int oi = 0; oi < out_nx; ++oi) {
+      // average the stride x stride block
+      double acc = 0.0;
+      int cnt = 0;
+      for (int j = oj * stride; j < std::min(ny, (oj + 1) * stride); ++j)
+        for (int i = oi * stride; i < std::min(nx, (oi + 1) * stride); ++i) {
+          acc += field[static_cast<std::size_t>(j) * nx + i];
+          ++cnt;
+        }
+      const double v = acc / std::max(cnt, 1);
+      int shade = static_cast<int>((v - vmin) / range * (nshades - 1));
+      shade = std::clamp(shade, 0, nshades - 1);
+      os << kShades[shade];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace amrio::util

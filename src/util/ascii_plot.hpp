@@ -1,0 +1,34 @@
+#pragma once
+/// \file ascii_plot.hpp
+/// Terminal renderings for the paper's figures: XY scatter/line charts (Figs
+/// 5–11) and 2D heatmaps (Fig 4's mesh/Mach views). Pure text, deterministic.
+
+#include <string>
+#include <vector>
+
+namespace amrio::util {
+
+struct Series {
+  std::string label;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+struct PlotOptions {
+  int width = 72;
+  int height = 20;
+  bool log_x = false;
+  bool log_y = false;
+  std::string title;
+  std::string x_label = "x";
+  std::string y_label = "y";
+};
+
+/// Multi-series scatter plot; each series gets a distinct glyph (a, b, c, ...).
+std::string plot_xy(const std::vector<Series>& series, const PlotOptions& opts);
+
+/// Render a row-major field (ny rows of nx) as a shade heatmap, darkest = max.
+std::string heatmap(const std::vector<double>& field, int nx, int ny,
+                    const std::string& title, int max_cols = 72);
+
+}  // namespace amrio::util

@@ -1,0 +1,59 @@
+#pragma once
+/// \file assert.hpp
+/// Contract-checking macros in the spirit of the C++ Core Guidelines GSL
+/// `Expects`/`Ensures`. Logic errors throw `amrio::ContractViolation` so tests
+/// can assert on them and callers get a stack-unwindable failure instead of an
+/// abort. These stay enabled in release builds: this library favours
+/// correctness diagnostics over the last few percent of speed.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace amrio {
+
+/// Thrown when an AMRIO_EXPECTS/AMRIO_ENSURES contract is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace amrio
+
+/// Precondition check; throws amrio::ContractViolation when violated.
+#define AMRIO_EXPECTS(cond)                                                     \
+  do {                                                                          \
+    if (!(cond))                                                                \
+      ::amrio::detail::contract_fail("Precondition", #cond, __FILE__, __LINE__, \
+                                     "");                                       \
+  } while (0)
+
+/// Precondition check with a context message (streamed, e.g. `"n=" << n`).
+#define AMRIO_EXPECTS_MSG(cond, msg)                                            \
+  do {                                                                          \
+    if (!(cond)) {                                                              \
+      std::ostringstream os_;                                                   \
+      os_ << msg;                                                               \
+      ::amrio::detail::contract_fail("Precondition", #cond, __FILE__, __LINE__, \
+                                     os_.str());                                \
+    }                                                                           \
+  } while (0)
+
+/// Postcondition check; throws amrio::ContractViolation when violated.
+#define AMRIO_ENSURES(cond)                                                      \
+  do {                                                                           \
+    if (!(cond))                                                                 \
+      ::amrio::detail::contract_fail("Postcondition", #cond, __FILE__, __LINE__, \
+                                     "");                                        \
+  } while (0)

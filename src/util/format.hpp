@@ -1,0 +1,43 @@
+#pragma once
+/// \file format.hpp
+/// Small string and byte-size formatting helpers shared across the library.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace amrio::util {
+
+/// Split `s` on `delim`, trimming nothing; empty tokens are kept.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Split `s` on runs of whitespace; empty tokens are dropped.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// Strip leading/trailing whitespace.
+std::string trim(std::string_view s);
+
+/// Lower-case ASCII copy.
+std::string to_lower(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Join the range [first,last) of strings with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// "1.50 GiB", "512 B", ... (binary prefixes, as I/O tools report).
+std::string human_bytes(std::uint64_t bytes);
+
+/// Parse byte sizes with optional binary suffix: "64", "64K", "1.5M", "2G".
+/// Throws std::invalid_argument on malformed input.
+std::uint64_t parse_bytes(std::string_view s);
+
+/// Fixed-width zero-padded integer, e.g. zero_pad(7, 5) == "00007".
+std::string zero_pad(std::uint64_t value, int width);
+
+/// printf-style %g formatting with `digits` significant digits.
+std::string format_g(double v, int digits = 6);
+
+}  // namespace amrio::util

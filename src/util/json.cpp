@@ -1,0 +1,152 @@
+#include "util/json.hpp"
+
+#include <cstdio>
+
+#include "util/assert.hpp"
+#include "util/format.hpp"
+
+namespace amrio::util {
+
+void JsonWriter::comma_and_indent() {
+  if (!stack_.empty()) {
+    if (!first_in_scope_.back()) os_ << ',';
+    first_in_scope_.back() = false;
+    if (pretty_) {
+      os_ << '\n';
+      for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+    }
+  }
+}
+
+void JsonWriter::on_value() {
+  AMRIO_EXPECTS_MSG(!wrote_root_ || !stack_.empty(),
+                    "JSON: value after complete document");
+  if (!stack_.empty() && stack_.back() == Scope::kObject) {
+    AMRIO_EXPECTS_MSG(expecting_value_, "JSON: value in object without key");
+  }
+  expecting_value_ = false;
+  wrote_root_ = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  if (!expecting_value_) comma_and_indent();
+  on_value();
+  os_ << '{';
+  stack_.push_back(Scope::kObject);
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  AMRIO_EXPECTS(!stack_.empty() && stack_.back() == Scope::kObject);
+  AMRIO_EXPECTS_MSG(!expecting_value_, "JSON: dangling key at end_object");
+  const bool was_empty = first_in_scope_.back();
+  stack_.pop_back();
+  first_in_scope_.pop_back();
+  if (pretty_ && !was_empty) {
+    os_ << '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+  }
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  if (!expecting_value_) comma_and_indent();
+  on_value();
+  os_ << '[';
+  stack_.push_back(Scope::kArray);
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  AMRIO_EXPECTS(!stack_.empty() && stack_.back() == Scope::kArray);
+  const bool was_empty = first_in_scope_.back();
+  stack_.pop_back();
+  first_in_scope_.pop_back();
+  if (pretty_ && !was_empty) {
+    os_ << '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+  }
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  AMRIO_EXPECTS_MSG(!stack_.empty() && stack_.back() == Scope::kObject,
+                    "JSON: key outside object");
+  AMRIO_EXPECTS_MSG(!expecting_value_, "JSON: two keys in a row");
+  comma_and_indent();
+  os_ << '"' << escape(k) << "\":";
+  if (pretty_) os_ << ' ';
+  expecting_value_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  if (!expecting_value_) comma_and_indent();
+  on_value();
+  os_ << '"' << escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  if (!expecting_value_) comma_and_indent();
+  on_value();
+  os_ << format_g(v, 17);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  if (!expecting_value_) comma_and_indent();
+  on_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  if (!expecting_value_) comma_and_indent();
+  on_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  if (!expecting_value_) comma_and_indent();
+  on_value();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  if (!expecting_value_) comma_and_indent();
+  on_value();
+  os_ << "null";
+  return *this;
+}
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace amrio::util

@@ -1,0 +1,59 @@
+#pragma once
+/// \file json.hpp
+/// Streaming JSON writer used by the MACSio `miftmpl` interface (the paper's
+/// runs use MACSio's json output) and for machine-readable reports. Emits to
+/// any std::ostream; correctness of nesting is contract-checked.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace amrio::util {
+
+/// Stack-based streaming writer:
+///   JsonWriter w(os);
+///   w.begin_object();
+///   w.key("steps").begin_array(); w.value(1); w.value(2); w.end_array();
+///   w.end_object();
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os, bool pretty = false)
+      : os_(os), pretty_(pretty) {}
+  ~JsonWriter() = default;
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(const std::string& k);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// True once every opened scope is closed.
+  bool complete() const { return stack_.empty() && wrote_root_; }
+
+  static std::string escape(const std::string& s);
+
+ private:
+  enum class Scope { kObject, kArray };
+  void comma_and_indent();
+  void on_value();
+
+  std::ostream& os_;
+  bool pretty_;
+  std::vector<Scope> stack_;
+  std::vector<bool> first_in_scope_;
+  bool expecting_value_ = false;  // a key was just written
+  bool wrote_root_ = false;
+};
+
+}  // namespace amrio::util

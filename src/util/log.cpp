@@ -1,0 +1,44 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/format.hpp"
+
+namespace amrio::util {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() : level_(LogLevel::kWarn) {
+  // AMRIO_LOG_LEVEL=debug|info|warn|error|off overrides the default so bench
+  // runs can be made chatty without recompiling.
+  if (const char* env = std::getenv("AMRIO_LOG_LEVEL")) {
+    const std::string v = to_lower(env);
+    if (v == "debug") level_ = LogLevel::kDebug;
+    else if (v == "info") level_ = LogLevel::kInfo;
+    else if (v == "warn") level_ = LogLevel::kWarn;
+    else if (v == "error") level_ = LogLevel::kError;
+    else if (v == "off") level_ = LogLevel::kOff;
+  }
+}
+
+void Logger::log(LogLevel level, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(stderr, "[amrio:%s] %s\n", to_string(level), msg.c_str());
+}
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+}  // namespace amrio::util

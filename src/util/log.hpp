@@ -1,0 +1,47 @@
+#pragma once
+/// \file log.hpp
+/// Minimal leveled logger. Thread-safe; writes to stderr so bench/table output
+/// on stdout stays machine-parseable.
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace amrio::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-global logger. Usage: `AMRIO_LOG_INFO("ran " << n << " steps");`
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  void log(LogLevel level, const std::string& msg);
+
+ private:
+  Logger();
+  LogLevel level_;
+  std::mutex mu_;
+};
+
+const char* to_string(LogLevel level);
+
+}  // namespace amrio::util
+
+#define AMRIO_LOG_AT(lvl, expr)                                          \
+  do {                                                                   \
+    if (static_cast<int>(lvl) >=                                         \
+        static_cast<int>(::amrio::util::Logger::instance().level())) {   \
+      std::ostringstream os_;                                            \
+      os_ << expr;                                                       \
+      ::amrio::util::Logger::instance().log(lvl, os_.str());             \
+    }                                                                    \
+  } while (0)
+
+#define AMRIO_LOG_DEBUG(expr) AMRIO_LOG_AT(::amrio::util::LogLevel::kDebug, expr)
+#define AMRIO_LOG_INFO(expr) AMRIO_LOG_AT(::amrio::util::LogLevel::kInfo, expr)
+#define AMRIO_LOG_WARN(expr) AMRIO_LOG_AT(::amrio::util::LogLevel::kWarn, expr)
+#define AMRIO_LOG_ERROR(expr) AMRIO_LOG_AT(::amrio::util::LogLevel::kError, expr)

@@ -1,0 +1,77 @@
+#include "util/path.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <stdexcept>
+
+#include <unistd.h>
+
+namespace fs = std::filesystem;
+
+namespace amrio::util {
+
+void make_dirs(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) throw std::runtime_error("make_dirs(" + path + "): " + ec.message());
+}
+
+void remove_all(const std::string& path) {
+  std::error_code ec;
+  fs::remove_all(path, ec);
+  if (ec) throw std::runtime_error("remove_all(" + path + "): " + ec.message());
+}
+
+std::string path_join(const std::string& a, const std::string& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  if (a.back() == '/') return a + (b.front() == '/' ? b.substr(1) : b);
+  return a + (b.front() == '/' ? b : "/" + b);
+}
+
+bool path_exists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec);
+}
+
+std::uint64_t file_size(const std::string& path) {
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  if (ec) throw std::runtime_error("file_size(" + path + "): " + ec.message());
+  return static_cast<std::uint64_t>(size);
+}
+
+std::vector<std::string> list_files_recursive(const std::string& dir) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  if (!fs::exists(dir, ec)) return out;
+  const fs::path base(dir);
+  for (auto it = fs::recursive_directory_iterator(base, ec);
+       it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (ec) throw std::runtime_error("list_files_recursive: " + ec.message());
+    if (it->is_regular_file()) {
+      out.push_back(fs::relative(it->path(), base).generic_string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string make_temp_dir(const std::string& prefix) {
+  static std::atomic<std::uint64_t> counter{0};
+  const auto base = fs::temp_directory_path();
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const auto name =
+        prefix + "." + std::to_string(static_cast<std::uint64_t>(::getpid())) +
+        "." + std::to_string(counter.fetch_add(1));
+    const fs::path candidate = base / name;
+    std::error_code ec;
+    if (fs::create_directories(candidate, ec) && !ec)
+      return candidate.generic_string();
+  }
+  throw std::runtime_error("make_temp_dir: exhausted attempts");
+}
+
+}  // namespace amrio::util

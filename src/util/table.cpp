@@ -1,0 +1,70 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace amrio::util {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  AMRIO_EXPECTS(!headers_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  AMRIO_EXPECTS_MSG(cells.size() == headers_.size(),
+                    "row has " << cells.size() << " cells, table has "
+                               << headers_.size() << " columns");
+  rows_.push_back(std::move(cells));
+}
+
+bool TextTable::looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != '-' &&
+        c != '+' && c != 'e' && c != 'E' && c != '%' && c != 'x')
+      return false;
+  }
+  return true;
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row, bool align_numeric) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::size_t pad = width[c] - row[c].size();
+      os << ' ';
+      if (align_numeric && looks_numeric(row[c])) {
+        os << std::string(pad, ' ') << row[c];
+      } else {
+        os << row[c] << std::string(pad, ' ');
+      }
+      os << " |";
+    }
+    os << '\n';
+  };
+  auto emit_sep = [&] {
+    os << '+';
+    for (std::size_t c = 0; c < width.size(); ++c)
+      os << std::string(width[c] + 2, '-') << '+';
+    os << '\n';
+  };
+
+  emit_sep();
+  emit_row(headers_, false);
+  emit_sep();
+  for (const auto& row : rows_) emit_row(row, true);
+  emit_sep();
+  return os.str();
+}
+
+}  // namespace amrio::util

@@ -1,0 +1,27 @@
+#pragma once
+/// \file table.hpp
+/// Fixed-width text table printer for bench output — every reproduced paper
+/// table/figure prints a human-readable table alongside its CSV.
+
+#include <string>
+#include <vector>
+
+namespace amrio::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Render with column alignment; numeric-looking cells are right-aligned.
+  std::string to_string() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  static bool looks_numeric(const std::string& s);
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace amrio::util

@@ -1,0 +1,23 @@
+#pragma once
+/// \file timer.hpp
+/// Wall-clock timer for coarse instrumentation of bench drivers.
+
+#include <chrono>
+
+namespace amrio::util {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  /// Seconds since construction/reset.
+  double elapsed() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace amrio::util

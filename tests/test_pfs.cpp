@@ -1,0 +1,282 @@
+/// Tests for storage backends (memory/POSIX parity, counting mode, append)
+/// and the discrete-event parallel filesystem simulator.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "pfs/backend.hpp"
+#include "pfs/simfs.hpp"
+#include "pfs/timeline.hpp"
+#include "util/assert.hpp"
+#include "util/path.hpp"
+
+namespace p = amrio::pfs;
+
+namespace {
+std::span<const std::byte> as_bytes(const std::string& s) {
+  return std::as_bytes(std::span<const char>(s.data(), s.size()));
+}
+}  // namespace
+
+// --------------------------------------------------------------- backends
+
+TEST(MemoryBackend, WriteReadRoundTrip) {
+  p::MemoryBackend be(true);
+  {
+    p::OutFile f(be, "dir/a.txt");
+    f.write("hello ");
+    f.write("world");
+  }
+  EXPECT_TRUE(be.exists("dir/a.txt"));
+  EXPECT_EQ(be.size("dir/a.txt"), 11u);
+  const auto bytes = be.read("dir/a.txt");
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size()),
+            "hello world");
+}
+
+TEST(MemoryBackend, CountingModeTracksSizesOnly) {
+  p::MemoryBackend be(false);
+  {
+    p::OutFile f(be, "big.bin");
+    std::vector<std::byte> chunk(1 << 20);
+    for (int i = 0; i < 10; ++i) f.write(chunk);
+  }
+  EXPECT_EQ(be.size("big.bin"), 10u << 20);
+  EXPECT_THROW(be.read("big.bin"), std::runtime_error);
+}
+
+TEST(MemoryBackend, CreateTruncates) {
+  p::MemoryBackend be(true);
+  { p::OutFile f(be, "x"); f.write("aaaa"); }
+  { p::OutFile f(be, "x"); f.write("bb"); }
+  EXPECT_EQ(be.size("x"), 2u);
+}
+
+TEST(MemoryBackend, AppendExtends) {
+  p::MemoryBackend be(true);
+  { p::OutFile f(be, "x"); f.write("aaaa"); }
+  { p::OutFile f(be, "x", p::OpenMode::kAppend); f.write("bb"); }
+  EXPECT_EQ(be.size("x"), 6u);
+  const auto bytes = be.read("x");
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size()),
+            "aaaabb");
+}
+
+TEST(MemoryBackend, ListFiltersByPrefixSorted) {
+  p::MemoryBackend be(false);
+  for (const char* name : {"plt00000/Header", "plt00000/Level_0/Cell_H",
+                           "plt00020/Header", "other/file"}) {
+    p::OutFile f(be, name);
+    f.write("x");
+  }
+  const auto all = be.list("");
+  EXPECT_EQ(all.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(all.begin(), all.end()));
+  EXPECT_EQ(be.list("plt00000").size(), 2u);
+  EXPECT_EQ(be.list("plt").size(), 3u);
+}
+
+TEST(MemoryBackend, BadHandleThrows) {
+  p::MemoryBackend be(true);
+  EXPECT_THROW(be.write(999, as_bytes("x")), std::runtime_error);
+  EXPECT_THROW(be.close(999), std::runtime_error);
+  EXPECT_THROW(be.size("missing"), std::runtime_error);
+}
+
+TEST(MemoryBackend, ConcurrentWritersSafe) {
+  p::MemoryBackend be(false);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&be, t] {
+      for (int i = 0; i < 50; ++i) {
+        p::OutFile f(be, "t" + std::to_string(t) + "_" + std::to_string(i));
+        f.write("data");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(be.file_count(), 400u);
+  EXPECT_EQ(be.total_bytes(), 1600u);
+}
+
+TEST(PosixBackend, ParityWithMemoryBackend) {
+  const std::string root = amrio::util::make_temp_dir("amrio_pfs_test");
+  p::PosixBackend posix(root);
+  p::MemoryBackend mem(true);
+  auto scenario = [](p::StorageBackend& be) {
+    { p::OutFile f(be, "a/b/data.bin"); f.write("0123456789"); }
+    { p::OutFile f(be, "a/meta"); f.write("m"); }
+    { p::OutFile f(be, "a/meta", p::OpenMode::kAppend); f.write("n"); }
+  };
+  scenario(posix);
+  scenario(mem);
+  EXPECT_EQ(posix.list(""), mem.list(""));
+  for (const auto& path : mem.list("")) {
+    EXPECT_EQ(posix.size(path), mem.size(path)) << path;
+    EXPECT_EQ(posix.read(path), mem.read(path)) << path;
+  }
+  amrio::util::remove_all(root);
+}
+
+// ------------------------------------------------------------------ simfs
+
+TEST(SimFs, SingleWriteTakesBytesOverBandwidth) {
+  p::SimFsConfig cfg;
+  cfg.n_ost = 4;
+  cfg.ost_bandwidth = 1e9;
+  cfg.client_bandwidth = 1e9;
+  cfg.mds_latency = 0.0;
+  p::SimFs fs(cfg);
+  const auto res = fs.run({p::IoRequest{0, 0.0, "f", 1'000'000'000}});
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_NEAR(res[0].end - res[0].open_end, 1.0, 1e-9);
+}
+
+TEST(SimFs, MdsSerializesCreates) {
+  p::SimFsConfig cfg;
+  cfg.mds_latency = 0.01;
+  p::SimFs fs(cfg);
+  std::vector<p::IoRequest> reqs;
+  for (int i = 0; i < 10; ++i) reqs.push_back({i, 0.0, "f" + std::to_string(i), 0});
+  const auto res = fs.run(reqs);
+  // zero-byte creates: total makespan = 10 * mds_latency, strictly serialized
+  double max_end = 0.0;
+  for (const auto& r : res) max_end = std::max(max_end, r.end);
+  EXPECT_NEAR(max_end, 0.1, 1e-9);
+}
+
+TEST(SimFs, ContentionDoublesTimeOnSharedOst) {
+  p::SimFsConfig cfg;
+  cfg.n_ost = 1;  // force both files onto the same OST
+  cfg.ost_bandwidth = 1e9;
+  cfg.client_bandwidth = 1e9;
+  cfg.mds_latency = 0.0;
+  p::SimFs fs(cfg);
+  const std::uint64_t bytes = 500'000'000;
+  const auto res = fs.run({{0, 0.0, "a", bytes}, {1, 0.0, "b", bytes}});
+  double makespan = 0.0;
+  for (const auto& r : res) makespan = std::max(makespan, r.end);
+  EXPECT_NEAR(makespan, 1.0, 1e-6);  // 1 GB through 1 GB/s OST
+}
+
+TEST(SimFs, DisjointOstsRunInParallel) {
+  p::SimFsConfig cfg;
+  cfg.n_ost = 64;  // plenty of OSTs: hash collisions unlikely for two files
+  cfg.ost_bandwidth = 1e9;
+  cfg.client_bandwidth = 1e9;
+  cfg.mds_latency = 0.0;
+  p::SimFs fs(cfg);
+  // find two files on different OSTs
+  std::string f1 = "file_a";
+  std::string f2;
+  for (char c = 'a'; c <= 'z'; ++c) {
+    f2 = std::string("file_") + c + "x";
+    if (fs.ost_of(f2) != fs.ost_of(f1)) break;
+  }
+  ASSERT_NE(fs.ost_of(f1), fs.ost_of(f2));
+  const std::uint64_t bytes = 500'000'000;
+  const auto res = fs.run({{0, 0.0, f1, bytes}, {1, 0.0, f2, bytes}});
+  double makespan = 0.0;
+  for (const auto& r : res) makespan = std::max(makespan, r.end);
+  EXPECT_NEAR(makespan, 0.5, 1e-6);
+}
+
+TEST(SimFs, ClientBandwidthCaps) {
+  p::SimFsConfig cfg;
+  cfg.n_ost = 8;
+  cfg.ost_bandwidth = 10e9;
+  cfg.client_bandwidth = 1e9;  // NIC is the bottleneck
+  cfg.mds_latency = 0.0;
+  p::SimFs fs(cfg);
+  const auto res = fs.run({{0, 0.0, "f", 2'000'000'000}});
+  EXPECT_NEAR(res[0].end, 2.0, 1e-6);
+}
+
+TEST(SimFs, DeterministicForSeed) {
+  p::SimFsConfig cfg;
+  cfg.variability_sigma = 0.3;
+  cfg.seed = 42;
+  std::vector<p::IoRequest> reqs;
+  for (int i = 0; i < 20; ++i)
+    reqs.push_back({i % 4, 0.1 * i, "f" + std::to_string(i), 1'000'000});
+  const auto a = p::SimFs(cfg).run(reqs);
+  const auto b = p::SimFs(cfg).run(reqs);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_DOUBLE_EQ(a[i].end, b[i].end);
+  cfg.seed = 43;
+  const auto c = p::SimFs(cfg).run(reqs);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].end != c[i].end) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SimFs, VariabilityPreservesMeanRoughly) {
+  p::SimFsConfig base;
+  base.n_ost = 16;
+  base.mds_latency = 0.0;
+  std::vector<p::IoRequest> reqs;
+  for (int i = 0; i < 200; ++i)
+    reqs.push_back({i % 8, 0.0, "f" + std::to_string(i), 4'000'000});
+  const auto clean = p::SimFs(base).run(reqs);
+  base.variability_sigma = 0.2;
+  const auto noisy = p::SimFs(base).run(reqs);
+  double clean_total = 0.0;
+  double noisy_total = 0.0;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    clean_total += clean[i].duration();
+    noisy_total += noisy[i].duration();
+  }
+  EXPECT_NEAR(noisy_total / clean_total, 1.0, 0.15);
+}
+
+TEST(SimFs, InvalidConfigRejected) {
+  p::SimFsConfig cfg;
+  cfg.n_ost = 0;
+  EXPECT_THROW(p::SimFs{cfg}, amrio::ContractViolation);
+  cfg = {};
+  cfg.stripe_count = 99;  // > n_ost
+  EXPECT_THROW(p::SimFs{cfg}, amrio::ContractViolation);
+}
+
+// --------------------------------------------------------------- timeline
+
+TEST(Timeline, BandwidthBinsConserveBytes) {
+  std::vector<p::IoResult> results;
+  p::IoResult r;
+  r.open_start = 0.0;
+  r.open_end = 0.0;
+  r.end = 1.0;
+  r.bytes = 1000;
+  results.push_back(r);
+  r.open_start = 2.0;
+  r.open_end = 2.0;
+  r.end = 3.0;
+  r.bytes = 3000;
+  results.push_back(r);
+  const auto bins = p::bandwidth_timeline(results, 30);
+  double total = 0.0;
+  for (const auto& b : bins) total += b.bytes;
+  EXPECT_NEAR(total, 4000.0, 1.0);
+}
+
+TEST(Timeline, BurstStatsDutyCycle) {
+  std::vector<p::IoResult> results;
+  p::IoResult r;
+  r.open_start = 0.0;
+  r.open_end = 0.0;
+  r.end = 1.0;
+  r.bytes = 100;
+  results.push_back(r);
+  r.open_start = 9.0;
+  r.open_end = 9.0;
+  r.end = 10.0;
+  results.push_back(r);
+  const auto st = p::burst_stats(results);
+  EXPECT_DOUBLE_EQ(st.makespan, 10.0);
+  EXPECT_DOUBLE_EQ(st.busy_time, 2.0);
+  EXPECT_NEAR(st.duty_cycle, 0.2, 1e-12);
+}
