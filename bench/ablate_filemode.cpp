@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "exec/engine.hpp"
 #include "bench_common.hpp"
 #include "macsio/driver.hpp"
 #include "pfs/timeline.hpp"
@@ -54,7 +55,8 @@ int main(int argc, char** argv) {
     params.file_mode = mode.mode;
     params.mif_files = mode.mif_files;
     pfs::MemoryBackend be(false);
-    const auto stats = macsio::run_macsio(params, be);
+    exec::SerialEngine engine(params.nprocs);
+    const auto stats = macsio::run_macsio(engine, params, be);
     pfs::SimFs fs(fscfg);
     const auto burst = pfs::burst_stats(fs.run(stats.requests));
     busy[mode.label] = burst.busy_time;

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "exec/engine.hpp"
 #include "bench_common.hpp"
 #include "core/amrio.hpp"
 #include "pfs/timeline.hpp"
@@ -46,7 +47,8 @@ int main(int argc, char** argv) {
       for (double sigma : {0.0, 0.4}) {
         params.compute_time = compute;
         pfs::MemoryBackend be(false);
-        const auto stats = macsio::run_macsio(params, be);
+        exec::SerialEngine engine(params.nprocs);
+        const auto stats = macsio::run_macsio(engine, params, be);
         pfs::SimFsConfig cfg;
         cfg.n_ost = osts;
         cfg.ost_bandwidth = 0.5e9;

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 
+#include "exec/engine.hpp"
 #include "bench_common.hpp"
 #include "macsio/driver.hpp"
 #include "util/format.hpp"
@@ -22,7 +23,8 @@ int main(int argc, char** argv) {
   params.output_dir = "macsio_out";
 
   pfs::MemoryBackend backend(false);
-  const auto stats = macsio::run_macsio(params, backend);
+  exec::SerialEngine engine(params.nprocs);
+  const auto stats = macsio::run_macsio(engine, params, backend);
 
   std::printf("MACSio data output (nprocs=%d, nsteps=%d)\n", params.nprocs,
               params.num_dumps);

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "exec/engine.hpp"
 #include "core/amrio.hpp"
 #include "pfs/timeline.hpp"
 #include "util/cli.hpp"
@@ -54,7 +55,8 @@ int main(int argc, char** argv) {
   params.compute_time = cli.get_double("compute_time");
   params.part_size *= static_cast<std::uint64_t>(cli.get_int("amplify"));
   pfs::MemoryBackend backend(false);
-  const auto stats = macsio::run_macsio(params, backend);
+  exec::SerialEngine engine(params.nprocs);
+  const auto stats = macsio::run_macsio(engine, params, backend);
   std::printf("proxy (part_size amplified x%lld): %d dumps, %s total, dumps "
               "every %.1fs of compute\n\n",
               static_cast<long long>(cli.get_int("amplify")), params.num_dumps,

@@ -12,10 +12,10 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "exec/engine.hpp"
 #include "iostats/aggregate.hpp"
 #include "macsio/driver.hpp"
 #include "pfs/timeline.hpp"
-#include "simmpi/comm.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
 
@@ -61,16 +61,13 @@ int main(int argc, char** argv) {
   else backend = std::make_unique<pfs::MemoryBackend>(false);
 
   iostats::TraceRecorder trace;
-  macsio::DumpStats stats;
-  if (spmd) {
-    std::printf("running %d SPMD ranks (simmpi threads)...\n", params.nprocs);
-    simmpi::run_spmd(params.nprocs, [&](simmpi::Comm& comm) {
-      auto s = macsio::run_macsio_spmd(comm, params, *backend, &trace);
-      if (comm.rank() == 0) stats = std::move(s);
-    });
-  } else {
-    stats = macsio::run_macsio(params, *backend, &trace);
-  }
+  const auto engine = exec::make_engine(
+      spmd ? exec::EngineKind::kSpmd : exec::EngineKind::kSerial,
+      params.nprocs);
+  std::printf("running %d ranks on the %s engine...\n", params.nprocs,
+              engine->name());
+  const macsio::DumpStats stats =
+      macsio::run_macsio(*engine, params, *backend, &trace);
 
   util::TextTable table({"dump", "bytes", "max task bytes", "min task bytes"});
   for (std::size_t d = 0; d < stats.bytes_per_dump.size(); ++d) {

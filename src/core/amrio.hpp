@@ -13,6 +13,7 @@
 #include "amr/core.hpp"            // IWYU pragma: export
 #include "amr/inputs.hpp"          // IWYU pragma: export
 #include "core/campaign.hpp"       // IWYU pragma: export
+#include "exec/engine.hpp"         // IWYU pragma: export
 #include "core/case_def.hpp"       // IWYU pragma: export
 #include "core/proxy_study.hpp"    // IWYU pragma: export
 #include "iostats/aggregate.hpp"   // IWYU pragma: export

@@ -14,11 +14,13 @@ ValidationResult calibrate_and_validate(const RunRecord& run, double growth_lo,
   result.sim_per_step = run.total.per_step;
 
   // Execute the calibrated proxy for real (as the paper does on Summit) and
-  // measure what it writes.
+  // measure what it writes. The fiber-scheduled SerialEngine keeps repeated
+  // calibration replays cheap (no thread spawn per evaluation).
   macsio::Params params = result.translation.params;
   params.output_dir = "macsio_" + run.config.name;
   pfs::MemoryBackend backend(/*store_contents=*/false);
-  result.proxy_stats = macsio::run_macsio(params, backend);
+  exec::SerialEngine engine(params.nprocs);
+  result.proxy_stats = macsio::run_macsio(engine, params, backend);
   for (auto b : result.proxy_stats.bytes_per_dump)
     result.proxy_per_step.push_back(static_cast<double>(b));
 

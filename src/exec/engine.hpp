@@ -1,0 +1,144 @@
+#pragma once
+/// \file engine.hpp
+/// Unified execution engine: one abstraction over "how do N ranks run".
+///
+/// The drivers in this repository (the MACSio dump loop, the AMReX plotfile
+/// writer) are SPMD programs: every rank executes the same body, synchronizing
+/// through a small set of collectives and MIF baton messages. Historically the
+/// repo carried two divergent implementations of each driver — a serial loop
+/// over virtual ranks and a threaded path over simmpi — which had to be kept
+/// byte-identical by hand. This layer collapses them: drivers are written once
+/// against `RankCtx` (rank id, barrier, exscan_sum, gather/gatherv, tagged
+/// token send/recv) and an `Engine` decides how the ranks execute:
+///
+///  * `SpmdEngine`  — real concurrency: one OS thread per rank via
+///    `simmpi::run_spmd`, collectives through the shared-memory communicator.
+///  * `SerialEngine` — zero threads: each rank is a cooperatively scheduled
+///    fiber (ucontext). Collectives suspend a fiber until every rank arrives,
+///    so MPI lockstep semantics hold exactly, deterministically, and cheaply —
+///    this is what the calibrator uses when it replays MACSio many times.
+///
+/// Because both engines run the *same* driver body, serial and threaded runs
+/// are byte-identical by construction (asserted by tests/test_exec.cpp).
+///
+/// Error semantics mirror `simmpi::run_spmd`: if any rank throws, peers
+/// blocked on a collective or recv observe `simmpi::CommAborted` and
+/// `Engine::run` rethrows the first rank's exception.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "simmpi/comm.hpp"
+
+namespace amrio::exec {
+
+/// Per-rank execution context handed to the driver body. Provides the
+/// collective operations the I/O drivers need; every rank must call the same
+/// collectives in the same order (MPI SPMD discipline).
+class RankCtx {
+ public:
+  virtual ~RankCtx() = default;
+
+  virtual int rank() const = 0;
+  virtual int nranks() const = 0;
+
+  /// Synchronize all ranks.
+  virtual void barrier() = 0;
+  /// Exclusive prefix sum; rank 0 receives 0 (MPI_Exscan with MPI_SUM).
+  virtual std::uint64_t exscan_sum(std::uint64_t v) = 0;
+  /// Gather one value per rank to `root` (root receives nranks() values in
+  /// rank order; other ranks receive an empty vector).
+  virtual std::vector<std::uint64_t> gather(std::uint64_t v, int root) = 0;
+  /// Variable-length byte gather, concatenated in rank order at `root`.
+  virtual std::vector<std::byte> gatherv(std::span<const std::byte> bytes,
+                                         int root) = 0;
+  /// Tagged point-to-point token (the MIF baton): buffered send.
+  virtual void send_token(std::uint64_t value, int dest, int tag) = 0;
+  /// Blocking tagged token receive.
+  virtual std::uint64_t recv_token(int src, int tag) = 0;
+};
+
+using RankFn = std::function<void(RankCtx&)>;
+
+/// An execution substrate for SPMD driver bodies.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+  virtual int nranks() const = 0;
+  /// Human-readable engine name ("serial", "spmd") for reports.
+  virtual const char* name() const = 0;
+  /// Execute `fn` once per rank. Blocks until every rank finishes; rethrows
+  /// the first rank exception, if any.
+  virtual void run(const RankFn& fn) = 0;
+};
+
+/// Fiber-scheduled engine: ranks run as cooperatively scheduled ucontext
+/// fibers on the calling thread. Deterministic, no thread overhead.
+class SerialEngine final : public Engine {
+ public:
+  /// `stack_bytes` is the per-fiber stack size; the default comfortably fits
+  /// the plotfile/MACSio writer bodies. Fiber stacks are plain heap blocks
+  /// with no guard page (unlike SpmdEngine's OS thread stacks), so bodies
+  /// with very deep frames should raise `stack_bytes` rather than rely on a
+  /// fault to catch overflow.
+  explicit SerialEngine(int nranks, std::size_t stack_bytes = 128 * 1024);
+  int nranks() const override { return nranks_; }
+  const char* name() const override { return "serial"; }
+  void run(const RankFn& fn) override;
+
+ private:
+  int nranks_;
+  std::size_t stack_bytes_;
+};
+
+/// Thread-per-rank engine over simmpi::run_spmd.
+class SpmdEngine final : public Engine {
+ public:
+  explicit SpmdEngine(int nranks);
+  int nranks() const override { return nranks_; }
+  const char* name() const override { return "spmd"; }
+  void run(const RankFn& fn) override;
+
+ private:
+  int nranks_;
+};
+
+/// RankCtx over an existing simmpi communicator — lets code that is already
+/// inside `simmpi::run_spmd` (the legacy `run_*_spmd` entry points) reuse the
+/// engine-parameterized driver bodies.
+class CommCtx final : public RankCtx {
+ public:
+  explicit CommCtx(simmpi::Comm& comm) : comm_(&comm) {}
+  int rank() const override { return comm_->rank(); }
+  int nranks() const override { return comm_->size(); }
+  void barrier() override { comm_->barrier(); }
+  std::uint64_t exscan_sum(std::uint64_t v) override {
+    return comm_->exscan_sum(v);
+  }
+  std::vector<std::uint64_t> gather(std::uint64_t v, int root) override {
+    return comm_->gather(v, root);
+  }
+  std::vector<std::byte> gatherv(std::span<const std::byte> bytes,
+                                 int root) override {
+    return comm_->gatherv(bytes, root);
+  }
+  void send_token(std::uint64_t value, int dest, int tag) override {
+    comm_->send(std::span<const std::uint64_t>(&value, 1), dest, tag);
+  }
+  std::uint64_t recv_token(int src, int tag) override {
+    return comm_->recv<std::uint64_t>(src, tag).at(0);
+  }
+
+ private:
+  simmpi::Comm* comm_;
+};
+
+enum class EngineKind { kSerial, kSpmd };
+
+std::unique_ptr<Engine> make_engine(EngineKind kind, int nranks);
+
+}  // namespace amrio::exec

@@ -1,10 +1,23 @@
 #include "iostats/trace.hpp"
 
+#include <algorithm>
+
 namespace amrio::iostats {
 
+TraceRecorder::Sink& TraceRecorder::sink_for(int rank) {
+  const auto idx = static_cast<std::size_t>(
+      ((rank % static_cast<int>(kSinks)) + static_cast<int>(kSinks)) %
+      static_cast<int>(kSinks));
+  return sinks_[idx];
+}
+
 void TraceRecorder::record(IoEvent event) {
-  std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back(std::move(event));
+  if (event.op == IoEvent::Op::kWrite)
+    write_bytes_.fetch_add(event.bytes, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  Sink& sink = sink_for(event.rank);
+  std::lock_guard<std::mutex> lock(sink.mu);
+  sink.events.push_back(std::move(event));
 }
 
 void TraceRecorder::record_write(std::int64_t step, int level, int rank,
@@ -20,27 +33,36 @@ void TraceRecorder::record_write(std::int64_t step, int level, int rank,
 }
 
 std::vector<IoEvent> TraceRecorder::events() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return events_;
+  std::vector<IoEvent> out;
+  for (const auto& sink : sinks_) {
+    std::lock_guard<std::mutex> lock(sink.mu);
+    out.insert(out.end(), sink.events.begin(), sink.events.end());
+  }
+  // Stable: ties (same step+rank) keep per-rank recording order, because all
+  // events of one rank live in one sink and were appended in program order.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const IoEvent& a, const IoEvent& b) {
+                     if (a.step != b.step) return a.step < b.step;
+                     return a.rank < b.rank;
+                   });
+  return out;
 }
 
 std::size_t TraceRecorder::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return events_.size();
+  return count_.load(std::memory_order_relaxed);
 }
 
 void TraceRecorder::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  events_.clear();
+  for (auto& sink : sinks_) {
+    std::lock_guard<std::mutex> lock(sink.mu);
+    sink.events.clear();
+  }
+  write_bytes_.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
 }
 
 std::uint64_t TraceRecorder::total_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::uint64_t total = 0;
-  for (const auto& e : events_) {
-    if (e.op == IoEvent::Op::kWrite) total += e.bytes;
-  }
-  return total;
+  return write_bytes_.load(std::memory_order_relaxed);
 }
 
 }  // namespace amrio::iostats

@@ -36,6 +36,24 @@ bool is_group_leader(const Params& p, int rank) {
   return file_group(p, rank) != file_group(p, rank - 1);
 }
 
+/// dump_file_path against an already-constructed interface — the dump body
+/// calls this several times per rank per dump; allocating a fresh interface
+/// each time (as the public overload must) would dominate calibration
+/// replays.
+std::string dump_file_path_for(const Params& p, const IoInterface& iface,
+                               int rank, int dump) {
+  if (p.file_mode == FileMode::kSif) {
+    return p.output_dir + "/data/macsio_" + iface.file_tag() + "_shared_" +
+           util::zero_pad(static_cast<std::uint64_t>(dump), 3) + "." +
+           iface.extension();
+  }
+  const int group = file_group(p, rank);
+  return p.output_dir + "/data/macsio_" + iface.file_tag() + "_" +
+         util::zero_pad(static_cast<std::uint64_t>(group), 5) + "_" +
+         util::zero_pad(static_cast<std::uint64_t>(dump), 3) + "." +
+         iface.extension();
+}
+
 }  // namespace
 
 std::string root_meta_text(const Params& p, int dump, const PartSpec& spec,
@@ -61,17 +79,7 @@ std::string root_meta_text(const Params& p, int dump, const PartSpec& spec,
 }
 
 std::string dump_file_path(const Params& p, int rank, int dump) {
-  const auto iface = make_interface(p.interface);
-  if (p.file_mode == FileMode::kSif) {
-    return p.output_dir + "/data/macsio_" + iface->file_tag() + "_shared_" +
-           util::zero_pad(static_cast<std::uint64_t>(dump), 3) + "." +
-           iface->extension();
-  }
-  const int group = file_group(p, rank);
-  return p.output_dir + "/data/macsio_" + iface->file_tag() + "_" +
-         util::zero_pad(static_cast<std::uint64_t>(group), 5) + "_" +
-         util::zero_pad(static_cast<std::uint64_t>(dump), 3) + "." +
-         iface->extension();
+  return dump_file_path_for(p, *make_interface(p.interface), rank, dump);
 }
 
 std::string root_file_path(const Params& p, int dump) {
@@ -80,83 +88,20 @@ std::string root_file_path(const Params& p, int dump) {
          util::zero_pad(static_cast<std::uint64_t>(dump), 3) + ".json";
 }
 
-DumpStats run_macsio(const Params& params, pfs::StorageBackend& backend,
-                     iostats::TraceRecorder* trace) {
-  params.validate();
-  const auto iface = make_interface(params.interface);
-  DumpStats stats;
-  stats.task_bytes.assign(static_cast<std::size_t>(params.num_dumps),
-                          std::vector<std::uint64_t>(
-                              static_cast<std::size_t>(params.nprocs), 0));
+namespace {
 
-  for (int dump = 0; dump < params.num_dumps; ++dump) {
-    const PartSpec spec =
-        make_part_spec(params.part_bytes_at_dump(dump), params.vars_per_part);
-    const double submit_time = dump * params.compute_time;
-    std::uint64_t dump_bytes = 0;
-
-    std::string open_path;
-    std::unique_ptr<pfs::OutFile> out;
-    for (int rank = 0; rank < params.nprocs; ++rank) {
-      const std::string path = dump_file_path(params, rank, dump);
-      const bool fresh = (path != open_path);
-      if (fresh) {
-        out.reset();  // close previous group file before opening the next
-        out = std::make_unique<pfs::OutFile>(backend, path);
-        open_path = path;
-        ++stats.nfiles;
-      }
-      const std::uint64_t before = out->bytes_written();
-      FileSink sink(*out);
-      util::Xoshiro256 rng(params.seed ^
-                           (static_cast<std::uint64_t>(dump) << 20) ^
-                           static_cast<std::uint64_t>(rank));
-      iface->begin_task_doc(sink, rank, dump);
-      const int nparts = params.parts_of_rank(rank);
-      for (int part = 0; part < nparts; ++part) {
-        if (part > 0) iface->part_separator(sink);
-        iface->write_part(sink, spec, part, params.fill, rng);
-      }
-      iface->end_task_doc(sink, params.meta_size);
-      const std::uint64_t written = out->bytes_written() - before;
-      stats.task_bytes[static_cast<std::size_t>(dump)]
-                      [static_cast<std::size_t>(rank)] = written;
-      dump_bytes += written;
-      if (trace != nullptr) trace->record_write(dump, 0, rank, path, written);
-      stats.requests.push_back(
-          pfs::IoRequest{rank, submit_time, path, written});
-    }
-    out.reset();
-
-    // Root metadata (rank 0's job in MACSio).
-    const std::string root_path = root_file_path(params, dump);
-    const std::string root = root_meta_text(params, dump, spec, dump_bytes);
-    {
-      pfs::OutFile root_out(backend, root_path);
-      root_out.write(root);
-    }
-    ++stats.nfiles;
-    dump_bytes += root.size();
-    if (trace != nullptr)
-      trace->record_write(dump, -1, 0, root_path, root.size());
-    stats.requests.push_back(
-        pfs::IoRequest{0, submit_time, root_path, root.size()});
-
-    stats.bytes_per_dump.push_back(dump_bytes);
-    stats.total_bytes += dump_bytes;
-  }
-  return stats;
-}
-
-DumpStats run_macsio_spmd(simmpi::Comm& comm, const Params& params,
+/// The single SPMD dump-loop body shared by every execution mode. Rank 0
+/// accumulates the full statistics and returns them; other ranks return
+/// empty stats.
+DumpStats run_macsio_rank(exec::RankCtx& ctx, const Params& params,
                           pfs::StorageBackend& backend,
                           iostats::TraceRecorder* trace) {
   params.validate();
-  AMRIO_EXPECTS_MSG(comm.size() == params.nprocs,
-                    "run_macsio_spmd: comm size " << comm.size()
-                                                  << " != nprocs " << params.nprocs);
+  AMRIO_EXPECTS_MSG(ctx.nranks() == params.nprocs,
+                    "run_macsio: engine ranks " << ctx.nranks()
+                                                << " != nprocs " << params.nprocs);
   const auto iface = make_interface(params.interface);
-  const int rank = comm.rank();
+  const int rank = ctx.rank();
   constexpr int kBatonTag = 41;
 
   DumpStats stats;
@@ -170,7 +115,7 @@ DumpStats run_macsio_spmd(simmpi::Comm& comm, const Params& params,
     const PartSpec spec =
         make_part_spec(params.part_bytes_at_dump(dump), params.vars_per_part);
     const double submit_time = dump * params.compute_time;
-    const std::string path = dump_file_path(params, rank, dump);
+    const std::string path = dump_file_path_for(params, *iface, rank, dump);
 
     // MIF baton: within a file group, members write strictly in rank order.
     // SIF is one global group. The leader truncates; followers append after
@@ -181,10 +126,10 @@ DumpStats run_macsio_spmd(simmpi::Comm& comm, const Params& params,
     const bool has_predecessor = !leader;
     const bool same_file_successor =
         (rank + 1 < params.nprocs) &&
-        dump_file_path(params, rank + 1, dump) == path;
+        dump_file_path_for(params, *iface, rank + 1, dump) == path;
 
     if (has_predecessor) {
-      (void)comm.recv<std::uint64_t>(rank - 1, kBatonTag);
+      (void)ctx.recv_token(rank - 1, kBatonTag);
     }
     std::uint64_t written = 0;
     {
@@ -202,17 +147,17 @@ DumpStats run_macsio_spmd(simmpi::Comm& comm, const Params& params,
       }
       iface->end_task_doc(sink, params.meta_size);
       written = out.bytes_written();
+      out.close();  // surface flush errors (destructor closes quietly)
     }
     if (same_file_successor) {
-      const std::uint64_t baton = written;
-      comm.send(std::span<const std::uint64_t>(&baton, 1), rank + 1, kBatonTag);
+      ctx.send_token(written, rank + 1, kBatonTag);
     }
     if (trace != nullptr) trace->record_write(dump, 0, rank, path, written);
 
     // Gather per-rank byte counts so rank 0 can write the root metadata and
     // accumulate statistics — this is MACSio's end-of-dump collective.
-    const auto all_bytes = comm.gather(written, 0);
-    comm.barrier();
+    const auto all_bytes = ctx.gather(written, 0);
+    ctx.barrier();
 
     if (rank == 0) {
       std::uint64_t dump_bytes = 0;
@@ -221,13 +166,14 @@ DumpStats run_macsio_spmd(simmpi::Comm& comm, const Params& params,
         stats.task_bytes[static_cast<std::size_t>(dump)][static_cast<std::size_t>(r)] = b;
         dump_bytes += b;
         stats.requests.push_back(pfs::IoRequest{
-            r, submit_time, dump_file_path(params, r, dump), b});
+            r, submit_time, dump_file_path_for(params, *iface, r, dump), b});
       }
       const std::string root_path = root_file_path(params, dump);
       const std::string root = root_meta_text(params, dump, spec, dump_bytes);
       {
         pfs::OutFile root_out(backend, root_path);
         root_out.write(root);
+        root_out.close();
       }
       dump_bytes += root.size();
       if (trace != nullptr)
@@ -237,7 +183,7 @@ DumpStats run_macsio_spmd(simmpi::Comm& comm, const Params& params,
       stats.bytes_per_dump.push_back(dump_bytes);
       stats.total_bytes += dump_bytes;
     }
-    comm.barrier();
+    ctx.barrier();
   }
 
   if (rank == 0) {
@@ -247,6 +193,32 @@ DumpStats run_macsio_spmd(simmpi::Comm& comm, const Params& params,
     stats.nfiles = files.size();
   }
   return stats;
+}
+
+}  // namespace
+
+DumpStats run_macsio(exec::Engine& engine, const Params& params,
+                     pfs::StorageBackend& backend,
+                     iostats::TraceRecorder* trace) {
+  DumpStats result;
+  engine.run([&](exec::RankCtx& ctx) {
+    DumpStats local = run_macsio_rank(ctx, params, backend, trace);
+    if (ctx.rank() == 0) result = std::move(local);
+  });
+  return result;
+}
+
+DumpStats run_macsio(const Params& params, pfs::StorageBackend& backend,
+                     iostats::TraceRecorder* trace) {
+  exec::SerialEngine engine(params.nprocs);
+  return run_macsio(engine, params, backend, trace);
+}
+
+DumpStats run_macsio_spmd(simmpi::Comm& comm, const Params& params,
+                          pfs::StorageBackend& backend,
+                          iostats::TraceRecorder* trace) {
+  exec::CommCtx ctx(comm);
+  return run_macsio_rank(ctx, params, backend, trace);
 }
 
 }  // namespace amrio::macsio

@@ -10,13 +10,17 @@
 /// `--compute_time` spacing the dump bursts on the logical clock (the
 /// requests list can be replayed through pfs::SimFs for "dynamic" studies).
 ///
-/// Two execution paths: a serial loop over virtual ranks (used by the
-/// calibrator, which runs MACSio many times), and a true SPMD path over
-/// simmpi threads with MIF baton-passing between group members.
+/// There is ONE driver body, written SPMD-style against `exec::RankCtx`
+/// (MIF baton-passing between group members, end-of-dump gather to rank 0).
+/// How the ranks execute is the engine's choice: `exec::SerialEngine` runs
+/// them as fibers on one thread (the calibrator's fast path), and
+/// `exec::SpmdEngine` runs them as real simmpi threads — byte-identical by
+/// construction.
 
 #include <cstdint>
 #include <vector>
 
+#include "exec/engine.hpp"
 #include "iostats/trace.hpp"
 #include "macsio/params.hpp"
 #include "macsio/part.hpp"
@@ -41,15 +45,21 @@ struct DumpStats {
   std::vector<double> cumulative() const;
 };
 
-/// Serial driver: iterates all virtual ranks in-process.
-/// Trace events use step = dump index, level = 0 for task data and level = -1
-/// for root metadata (MACSio has no AMR-level concept — the granularity gap
-/// the paper discusses in §III-B).
+/// Run the dump loop on `engine` (engine.nranks() must equal params.nprocs)
+/// and return the full statistics. Trace events use step = dump index,
+/// level = 0 for task data and level = -1 for root metadata (MACSio has no
+/// AMR-level concept — the granularity gap the paper discusses in §III-B).
+DumpStats run_macsio(exec::Engine& engine, const Params& params,
+                     pfs::StorageBackend& backend,
+                     iostats::TraceRecorder* trace = nullptr);
+
+/// Convenience: run on a fiber-scheduled SerialEngine sized params.nprocs.
 DumpStats run_macsio(const Params& params, pfs::StorageBackend& backend,
                      iostats::TraceRecorder* trace = nullptr);
 
-/// SPMD driver: call from inside simmpi::run_spmd with comm.size() ==
-/// params.nprocs. Rank 0's return value carries the full statistics.
+/// Per-rank entry point for code already inside simmpi::run_spmd with
+/// comm.size() == params.nprocs. Rank 0's return value carries the full
+/// statistics; other ranks return empty stats.
 DumpStats run_macsio_spmd(simmpi::Comm& comm, const Params& params,
                           pfs::StorageBackend& backend,
                           iostats::TraceRecorder* trace = nullptr);

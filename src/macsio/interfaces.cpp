@@ -65,15 +65,18 @@ class MiftmplInterface final : public IoInterface {
                ",\"nvars\":" + std::to_string(spec.nvars) + "},\"vars\":{");
     const std::uint64_t n = spec.values_per_var();
     char value_buf[kJsonValueWidth + 1];
-    // In sized mode all values are the same token, so a pre-built chunk can be
-    // replayed (this is what keeps repeated calibration runs cheap).
-    std::string zero_chunk;
-    if (fill == FillMode::kSized) {
-      format_value(value_buf, 0.0);
-      const std::string token = std::string(value_buf) + ",";
+    // In sized mode all values are the same token, so one pre-built chunk is
+    // replayed for every part of every call (this is what keeps repeated
+    // calibration runs and many-small-parts dumps cheap).
+    static const std::string zero_chunk = [] {
+      char buf[kJsonValueWidth + 1];
+      format_value(buf, 0.0);
+      const std::string token = std::string(buf) + ",";
       AMRIO_ENSURES(token.size() == kJsonValueWidth + 1);
-      while (zero_chunk.size() < (1u << 16)) zero_chunk += token;
-    }
+      std::string chunk;
+      while (chunk.size() < (1u << 16)) chunk += token;
+      return chunk;
+    }();
     for (int v = 0; v < spec.nvars; ++v) {
       if (v > 0) sink.write(",");
       char name[32];

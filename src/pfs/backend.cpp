@@ -1,6 +1,8 @@
 #include "pfs/backend.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <functional>
 #include <stdexcept>
 
 #include "util/assert.hpp"
@@ -19,79 +21,125 @@ std::uint64_t StorageBackend::file_count() const { return list("").size(); }
 
 // ---------------------------------------------------------------- Memory
 
+MemoryBackend::PathShard& MemoryBackend::path_shard(
+    const std::string& path) const {
+  return path_shards_[std::hash<std::string>{}(path) % kPathShards];
+}
+
 FileHandle MemoryBackend::create(const std::string& path) {
   AMRIO_EXPECTS(!path.empty());
-  std::lock_guard<std::mutex> lock(mu_);
-  const FileHandle h = next_handle_++;
-  open_files_[h] = path;
-  files_[path] = FileRecord{};  // truncate semantics
-  return h;
+  FileRecord* rec = nullptr;
+  {
+    PathShard& shard = path_shard(path);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    rec = &shard.files[path];
+    // truncate semantics
+    rec->bytes.store(0, std::memory_order_relaxed);
+    rec->nwrites.store(0, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> content_lock(rec->content_mu);
+    rec->contents.clear();
+  }
+  return handles_.put(rec);
 }
 
 FileHandle MemoryBackend::open_append(const std::string& path) {
   AMRIO_EXPECTS(!path.empty());
-  std::lock_guard<std::mutex> lock(mu_);
-  const FileHandle h = next_handle_++;
-  open_files_[h] = path;
-  files_.try_emplace(path);  // keep existing contents
-  return h;
+  FileRecord* rec = nullptr;
+  {
+    PathShard& shard = path_shard(path);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    rec = &shard.files[path];  // keep existing contents
+  }
+  return handles_.put(rec);
 }
 
 void MemoryBackend::write(FileHandle handle, std::span<const std::byte> data) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = open_files_.find(handle);
-  if (it == open_files_.end())
+  FileRecord* rec = handles_.lookup(handle);
+  if (rec == nullptr)
     throw std::runtime_error("MemoryBackend::write: bad handle");
-  FileRecord& rec = files_[it->second];
-  rec.bytes += data.size();
-  ++rec.nwrites;
-  if (store_contents_)
-    rec.contents.insert(rec.contents.end(), data.begin(), data.end());
+  rec->bytes.fetch_add(data.size(), std::memory_order_relaxed);
+  rec->nwrites.fetch_add(1, std::memory_order_relaxed);
+  if (store_contents_) {
+    std::lock_guard<std::mutex> lock(rec->content_mu);
+    rec->contents.insert(rec->contents.end(), data.begin(), data.end());
+  }
 }
 
 void MemoryBackend::close(FileHandle handle) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (open_files_.erase(handle) == 0)
+  if (handles_.take(handle) == nullptr)
     throw std::runtime_error("MemoryBackend::close: bad handle");
 }
 
 bool MemoryBackend::exists(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return files_.find(path) != files_.end();
+  PathShard& shard = path_shard(path);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.files.find(path) != shard.files.end();
 }
 
 std::uint64_t MemoryBackend::size(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = files_.find(path);
-  if (it == files_.end())
+  PathShard& shard = path_shard(path);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.files.find(path);
+  if (it == shard.files.end())
     throw std::runtime_error("MemoryBackend::size: no such file " + path);
-  return it->second.bytes;
+  return it->second.bytes.load(std::memory_order_relaxed);
 }
 
 std::vector<std::string> MemoryBackend::list(const std::string& prefix) const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
-  for (const auto& [path, rec] : files_) {
-    if (util::starts_with(path, prefix)) out.push_back(path);
+  for (const auto& shard : path_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [path, rec] : shard.files) {
+      if (util::starts_with(path, prefix)) out.push_back(path);
+    }
   }
-  return out;  // std::map iteration is already sorted
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 std::vector<std::byte> MemoryBackend::read(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = files_.find(path);
-  if (it == files_.end())
+  PathShard& shard = path_shard(path);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.files.find(path);
+  if (it == shard.files.end())
     throw std::runtime_error("MemoryBackend::read: no such file " + path);
-  if (!store_contents_ && it->second.bytes > 0)
+  if (!store_contents_ && it->second.bytes.load(std::memory_order_relaxed) > 0)
     throw std::runtime_error(
         "MemoryBackend::read: contents not retained (counting mode): " + path);
+  std::lock_guard<std::mutex> content_lock(it->second.content_mu);
   return it->second.contents;
+}
+
+std::uint64_t MemoryBackend::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : path_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [path, rec] : shard.files)
+      total += rec.bytes.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t MemoryBackend::file_count() const {
+  std::uint64_t count = 0;
+  for (const auto& shard : path_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    count += shard.files.size();
+  }
+  return count;
 }
 
 // ----------------------------------------------------------------- Posix
 
 PosixBackend::PosixBackend(std::string root) : root_(std::move(root)) {
   util::make_dirs(root_);
+}
+
+PosixBackend::~PosixBackend() {
+  handles_.for_each_open([](OpenFile* f) {
+    std::fclose(f->file);  // cannot throw from a destructor; best effort
+    delete f;
+  });
 }
 
 std::string PosixBackend::full_path(const std::string& path) const {
@@ -106,17 +154,25 @@ std::FILE* open_for(const std::string& full, const char* mode) {
 }
 }  // namespace
 
+FileHandle PosixBackend::register_open(std::FILE* f) {
+  auto open_file = std::make_unique<OpenFile>(OpenFile{f});
+  try {
+    const FileHandle h = handles_.put(open_file.get());
+    open_file.release();  // now owned by the handle table until close()
+    return h;
+  } catch (...) {
+    std::fclose(f);  // handle space exhausted: don't leak the FILE*
+    throw;
+  }
+}
+
 FileHandle PosixBackend::create(const std::string& path) {
   AMRIO_EXPECTS(!path.empty());
   const std::string full = full_path(path);
   std::FILE* f = open_for(full, "wb");
   if (f == nullptr)
     throw std::runtime_error("PosixBackend: cannot create " + full);
-  std::lock_guard<std::mutex> lock(mu_);
-  const FileHandle h = next_handle_++;
-  open_.emplace(h, std::unique_ptr<std::FILE, int (*)(std::FILE*)>(f, &std::fclose));
-  open_paths_[h] = path;
-  return h;
+  return register_open(f);
 }
 
 FileHandle PosixBackend::open_append(const std::string& path) {
@@ -125,32 +181,28 @@ FileHandle PosixBackend::open_append(const std::string& path) {
   std::FILE* f = open_for(full, "ab");
   if (f == nullptr)
     throw std::runtime_error("PosixBackend: cannot append " + full);
-  std::lock_guard<std::mutex> lock(mu_);
-  const FileHandle h = next_handle_++;
-  open_.emplace(h, std::unique_ptr<std::FILE, int (*)(std::FILE*)>(f, &std::fclose));
-  open_paths_[h] = path;
-  return h;
+  return register_open(f);
 }
 
 void PosixBackend::write(FileHandle handle, std::span<const std::byte> data) {
-  std::FILE* f = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = open_.find(handle);
-    if (it == open_.end())
-      throw std::runtime_error("PosixBackend::write: bad handle");
-    f = it->second.get();
-  }
+  OpenFile* f = handles_.lookup(handle);
+  if (f == nullptr)
+    throw std::runtime_error("PosixBackend::write: bad handle");
   if (!data.empty() &&
-      std::fwrite(data.data(), 1, data.size(), f) != data.size())
+      std::fwrite(data.data(), 1, data.size(), f->file) != data.size())
     throw std::runtime_error("PosixBackend::write: short write");
 }
 
 void PosixBackend::close(FileHandle handle) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (open_.erase(handle) == 0)
+  OpenFile* f = handles_.take(handle);
+  if (f == nullptr)
     throw std::runtime_error("PosixBackend::close: bad handle");
-  open_paths_.erase(handle);
+  const int rc = std::fclose(f->file);
+  delete f;
+  // fclose flushes stdio-buffered data; a failure here means earlier writes
+  // silently never reached disk (e.g. ENOSPC) — surface it.
+  if (rc != 0)
+    throw std::runtime_error("PosixBackend::close: flush failed");
 }
 
 bool PosixBackend::exists(const std::string& path) const {

@@ -136,16 +136,13 @@ void trace_meta(iostats::TraceRecorder* trace, std::int64_t step, int level,
   if (trace != nullptr) trace->record_write(step, level, -1, path, bytes);
 }
 
-/// Shared implementation: `data_levels` may be empty (predict mode), in which
-/// case min/max placeholders are written and Cell_D contents are not emitted.
-WriteStats write_impl(pfs::StorageBackend* backend, const PlotfileSpec& spec,
-                      const std::vector<LevelLayout>& layouts,
-                      const std::vector<LevelPlotData>& data_levels, int ncomp,
-                      iostats::TraceRecorder* trace, bool checkpoint) {
+/// Size-prediction implementation: no backend is touched, min/max
+/// placeholders stand in for field data, byte counts come from the plan.
+WriteStats predict_impl(const PlotfileSpec& spec,
+                        const std::vector<LevelLayout>& layouts, int ncomp,
+                        iostats::TraceRecorder* trace, bool checkpoint) {
   AMRIO_EXPECTS(!layouts.empty());
   AMRIO_EXPECTS(ncomp >= 1);
-  const bool real_write = backend != nullptr;
-  AMRIO_EXPECTS(!real_write || data_levels.size() == layouts.size());
 
   WriteStats stats;
   stats.rank_level_bytes.assign(layouts.size(), {});
@@ -156,21 +153,11 @@ WriteStats write_impl(pfs::StorageBackend* backend, const PlotfileSpec& spec,
     const int nranks = layout.dm.nranks();
     stats.rank_level_bytes[l].assign(static_cast<std::size_t>(nranks), 0);
     const LevelPlan plan = plan_level(layout.ba, layout.dm, ncomp);
-    const std::string level_dir =
-        spec.dir + "/Level_" + std::to_string(l);
+    const std::string level_dir = spec.dir + "/Level_" + std::to_string(l);
 
     for (const auto& [rank, boxes] : plan.rank_boxes) {
       const std::string path = level_dir + "/" + plan.fabs[boxes.front()].file;
-      std::uint64_t written = 0;
-      if (real_write) {
-        pfs::OutFile out(*backend, path);
-        const auto& mf = *data_levels[l].data;
-        for (std::size_t bi : boxes)
-          written += write_fab(out, mf.fab(bi), mf.valid_box(bi));
-      } else {
-        written = plan.rank_bytes.at(rank);
-      }
-      AMRIO_ENSURES(written == plan.rank_bytes.at(rank));
+      const std::uint64_t written = plan.rank_bytes.at(rank);
       stats.rank_level_bytes[l][static_cast<std::size_t>(rank)] = written;
       stats.data_bytes += written;
       ++stats.nfiles;
@@ -178,24 +165,9 @@ WriteStats write_impl(pfs::StorageBackend* backend, const PlotfileSpec& spec,
         trace->record_write(spec.step, static_cast<int>(l), rank, path, written);
     }
 
-    std::string cell_h;
-    if (real_write) {
-      const auto& mf = *data_levels[l].data;
-      cell_h = cell_h_text(layout.ba, ncomp, plan,
-                           [&mf](std::size_t i, int n, bool want_max) {
-                             return want_max
-                                        ? mf.fab(i).max(mf.valid_box(i), n)
-                                        : mf.fab(i).min(mf.valid_box(i), n);
-                           });
-    } else {
-      cell_h = cell_h_text(layout.ba, ncomp, plan,
-                           [](std::size_t, int, bool) { return 0.0; });
-    }
+    const std::string cell_h = cell_h_text(
+        layout.ba, ncomp, plan, [](std::size_t, int, bool) { return 0.0; });
     const std::string cell_h_path = level_dir + "/Cell_H";
-    if (real_write) {
-      pfs::OutFile out(*backend, cell_h_path);
-      out.write(cell_h);
-    }
     stats.metadata_bytes += cell_h.size();
     ++stats.nfiles;
     trace_meta(trace, spec.step, static_cast<int>(l), cell_h_path, cell_h.size());
@@ -204,23 +176,14 @@ WriteStats write_impl(pfs::StorageBackend* backend, const PlotfileSpec& spec,
   // ---- top-level Header and job_info
   std::string header = header_text(spec, layouts);
   if (checkpoint) header = "CheckPointVersion_1.0\n" + header;
-  const std::string header_path = spec.dir + "/Header";
-  if (real_write) {
-    pfs::OutFile out(*backend, header_path);
-    out.write(header);
-  }
   stats.metadata_bytes += header.size();
   ++stats.nfiles;
-  trace_meta(trace, spec.step, -1, header_path, header.size());
+  trace_meta(trace, spec.step, -1, spec.dir + "/Header", header.size());
 
-  const std::string job_info_path = spec.dir + "/job_info";
-  if (real_write) {
-    pfs::OutFile out(*backend, job_info_path);
-    out.write(spec.job_info);
-  }
   stats.metadata_bytes += spec.job_info.size();
   ++stats.nfiles;
-  trace_meta(trace, spec.step, -1, job_info_path, spec.job_info.size());
+  trace_meta(trace, spec.step, -1, spec.dir + "/job_info",
+             spec.job_info.size());
 
   stats.total_bytes = stats.metadata_bytes + stats.data_bytes;
   return stats;
@@ -237,62 +200,43 @@ std::vector<LevelLayout> layouts_of(const std::vector<LevelPlotData>& levels) {
   return out;
 }
 
-}  // namespace
-
-WriteStats write_plotfile(pfs::StorageBackend& backend, const PlotfileSpec& spec,
-                          const std::vector<LevelPlotData>& levels,
-                          iostats::TraceRecorder* trace) {
-  AMRIO_EXPECTS(!levels.empty());
-  const int ncomp = levels.front().data->ncomp();
-  AMRIO_EXPECTS_MSG(static_cast<std::size_t>(ncomp) == spec.var_names.size(),
-                    "plotfile var_names must match data components");
-  return write_impl(&backend, spec, layouts_of(levels), levels, ncomp, trace,
-                    /*checkpoint=*/false);
-}
-
-WriteStats predict_plotfile(const PlotfileSpec& spec,
-                            const std::vector<LevelLayout>& levels, int ncomp,
-                            iostats::TraceRecorder* trace) {
-  return write_impl(nullptr, spec, levels, {}, ncomp, trace,
-                    /*checkpoint=*/false);
-}
-
-WriteStats write_checkpoint(pfs::StorageBackend& backend,
-                            const PlotfileSpec& spec,
-                            const std::vector<LevelPlotData>& levels,
-                            iostats::TraceRecorder* trace) {
-  AMRIO_EXPECTS(!levels.empty());
-  const int ncomp = levels.front().data->ncomp();
-  AMRIO_EXPECTS_MSG(static_cast<std::size_t>(ncomp) == spec.var_names.size(),
-                    "checkpoint var_names must match data components");
-  return write_impl(&backend, spec, layouts_of(levels), levels, ncomp, trace,
-                    /*checkpoint=*/true);
-}
-
-WriteStats write_plotfile_spmd(simmpi::Comm& comm, pfs::StorageBackend& backend,
+/// The single SPMD write body shared by every execution mode: each rank
+/// writes its own Cell_D files (one per level where it owns grids, fully
+/// concurrent under an SPMD engine), per-rank byte counts are gathered to
+/// rank 0, and rank 0 writes all metadata. Rank 0 returns full statistics;
+/// other ranks return only their own contributions.
+WriteStats write_plotfile_rank(exec::RankCtx& ctx, pfs::StorageBackend& backend,
                                const PlotfileSpec& spec,
                                const std::vector<LevelPlotData>& levels,
-                               iostats::TraceRecorder* trace) {
-  AMRIO_EXPECTS(!levels.empty());
-  const int ncomp = levels.front().data->ncomp();
-  AMRIO_EXPECTS_MSG(static_cast<std::size_t>(ncomp) == spec.var_names.size(),
-                    "plotfile var_names must match data components");
-  const int rank = comm.rank();
-  const auto layouts = layouts_of(levels);
+                               const std::vector<LevelLayout>& layouts,
+                               int ncomp, iostats::TraceRecorder* trace,
+                               bool checkpoint) {
+  const int rank = ctx.rank();
   for (const auto& lay : layouts)
-    AMRIO_EXPECTS_MSG(lay.dm.nranks() == comm.size(),
-                      "write_plotfile_spmd: DM ranks " << lay.dm.nranks()
-                                                       << " != comm size "
-                                                       << comm.size());
+    AMRIO_EXPECTS_MSG(lay.dm.nranks() <= ctx.nranks(),
+                      "write_plotfile: DM ranks " << lay.dm.nranks()
+                                                  << " > engine ranks "
+                                                  << ctx.nranks());
 
   WriteStats stats;
   stats.rank_level_bytes.assign(layouts.size(), {});
 
+  // Only the metadata writer needs the per-level plans; compute each once.
+  std::vector<LevelPlan> plans;
+  if (rank == 0) {
+    plans.reserve(layouts.size());
+    for (const auto& layout : layouts)
+      plans.push_back(plan_level(layout.ba, layout.dm, ncomp));
+  }
+
   // Phase 1: every rank writes its own Cell_D files, concurrently.
   for (std::size_t l = 0; l < layouts.size(); ++l) {
     const auto& layout = layouts[l];
-    stats.rank_level_bytes[l].assign(static_cast<std::size_t>(comm.size()), 0);
-    const auto my_boxes = layout.dm.boxes_of(rank);
+    const int level_ranks = layout.dm.nranks();
+    stats.rank_level_bytes[l].assign(static_cast<std::size_t>(level_ranks), 0);
+    const auto my_boxes = rank < level_ranks
+                              ? layout.dm.boxes_of(rank)
+                              : std::vector<std::size_t>{};
     std::uint64_t written = 0;
     if (!my_boxes.empty()) {
       const std::string path =
@@ -302,38 +246,39 @@ WriteStats write_plotfile_spmd(simmpi::Comm& comm, pfs::StorageBackend& backend,
       const auto& mf = *levels[l].data;
       for (std::size_t bi : my_boxes)
         written += write_fab(out, mf.fab(bi), mf.valid_box(bi));
+      out.close();  // surface flush errors (destructor closes quietly)
       if (trace != nullptr)
         trace->record_write(spec.step, static_cast<int>(l), rank, path, written);
     }
     // Gather per-rank data bytes — the collective AMReX performs so the
     // metadata writer knows every FabOnDisk offset is consistent.
-    const auto all_bytes = comm.gather(written, 0);
+    const auto all_bytes = ctx.gather(written, 0);
     if (rank == 0) {
-      for (int r = 0; r < comm.size(); ++r) {
+      for (int r = 0; r < level_ranks; ++r) {
         stats.rank_level_bytes[l][static_cast<std::size_t>(r)] =
             all_bytes[static_cast<std::size_t>(r)];
         stats.data_bytes += all_bytes[static_cast<std::size_t>(r)];
       }
       // cross-check the gathered totals against the deterministic plan
-      const LevelPlan plan = plan_level(layout.ba, layout.dm, ncomp);
+      const LevelPlan& plan = plans[l];
       for (const auto& [r, bytes] : plan.rank_bytes) {
         AMRIO_ENSURES(stats.rank_level_bytes[l][static_cast<std::size_t>(r)] ==
                       bytes);
       }
       stats.nfiles += plan.rank_boxes.size();
-    } else {
+    } else if (rank < level_ranks) {
       stats.rank_level_bytes[l][static_cast<std::size_t>(rank)] = written;
       stats.data_bytes += written;
       if (written > 0) ++stats.nfiles;
     }
   }
-  comm.barrier();
+  ctx.barrier();
 
   // Phase 2: rank 0 writes all metadata (Cell_H per level, Header, job_info).
   if (rank == 0) {
     for (std::size_t l = 0; l < layouts.size(); ++l) {
       const auto& layout = layouts[l];
-      const LevelPlan plan = plan_level(layout.ba, layout.dm, ncomp);
+      const LevelPlan& plan = plans[l];
       const auto& mf = *levels[l].data;
       const std::string cell_h =
           cell_h_text(layout.ba, ncomp, plan,
@@ -345,14 +290,17 @@ WriteStats write_plotfile_spmd(simmpi::Comm& comm, pfs::StorageBackend& backend,
           spec.dir + "/Level_" + std::to_string(l) + "/Cell_H";
       pfs::OutFile out(backend, path);
       out.write(cell_h);
+      out.close();
       stats.metadata_bytes += cell_h.size();
       ++stats.nfiles;
       trace_meta(trace, spec.step, static_cast<int>(l), path, cell_h.size());
     }
-    const std::string header = header_text(spec, layouts);
+    std::string header = header_text(spec, layouts);
+    if (checkpoint) header = "CheckPointVersion_1.0\n" + header;
     {
       pfs::OutFile out(backend, spec.dir + "/Header");
       out.write(header);
+      out.close();
     }
     stats.metadata_bytes += header.size();
     ++stats.nfiles;
@@ -360,15 +308,103 @@ WriteStats write_plotfile_spmd(simmpi::Comm& comm, pfs::StorageBackend& backend,
     {
       pfs::OutFile out(backend, spec.dir + "/job_info");
       out.write(spec.job_info);
+      out.close();
     }
     stats.metadata_bytes += spec.job_info.size();
     ++stats.nfiles;
     trace_meta(trace, spec.step, -1, spec.dir + "/job_info",
                spec.job_info.size());
   }
-  comm.barrier();
+  ctx.barrier();
   stats.total_bytes = stats.metadata_bytes + stats.data_bytes;
   return stats;
+}
+
+int checked_ncomp(const PlotfileSpec& spec,
+                  const std::vector<LevelPlotData>& levels, const char* what) {
+  AMRIO_EXPECTS(!levels.empty());
+  AMRIO_EXPECTS(levels.front().data != nullptr);
+  const int ncomp = levels.front().data->ncomp();
+  AMRIO_EXPECTS_MSG(static_cast<std::size_t>(ncomp) == spec.var_names.size(),
+                    what << " var_names must match data components");
+  return ncomp;
+}
+
+/// Engine ranks needed to host every level's distribution.
+int engine_ranks_for(const std::vector<LevelLayout>& layouts) {
+  int n = 1;
+  for (const auto& lay : layouts) n = std::max(n, lay.dm.nranks());
+  return n;
+}
+
+WriteStats write_on_engine(exec::Engine& engine, pfs::StorageBackend& backend,
+                           const PlotfileSpec& spec,
+                           const std::vector<LevelPlotData>& levels,
+                           const std::vector<LevelLayout>& layouts,
+                           iostats::TraceRecorder* trace, bool checkpoint) {
+  const int ncomp = checked_ncomp(spec, levels,
+                                  checkpoint ? "checkpoint" : "plotfile");
+  WriteStats result;
+  engine.run([&](exec::RankCtx& ctx) {
+    WriteStats local = write_plotfile_rank(ctx, backend, spec, levels, layouts,
+                                           ncomp, trace, checkpoint);
+    if (ctx.rank() == 0) result = std::move(local);
+  });
+  return result;
+}
+
+}  // namespace
+
+WriteStats write_plotfile(exec::Engine& engine, pfs::StorageBackend& backend,
+                          const PlotfileSpec& spec,
+                          const std::vector<LevelPlotData>& levels,
+                          iostats::TraceRecorder* trace) {
+  AMRIO_EXPECTS(!levels.empty());
+  return write_on_engine(engine, backend, spec, levels, layouts_of(levels),
+                         trace, /*checkpoint=*/false);
+}
+
+WriteStats write_plotfile(pfs::StorageBackend& backend, const PlotfileSpec& spec,
+                          const std::vector<LevelPlotData>& levels,
+                          iostats::TraceRecorder* trace) {
+  AMRIO_EXPECTS(!levels.empty());
+  const auto layouts = layouts_of(levels);
+  exec::SerialEngine engine(engine_ranks_for(layouts));
+  return write_on_engine(engine, backend, spec, levels, layouts, trace,
+                         /*checkpoint=*/false);
+}
+
+WriteStats predict_plotfile(const PlotfileSpec& spec,
+                            const std::vector<LevelLayout>& levels, int ncomp,
+                            iostats::TraceRecorder* trace) {
+  return predict_impl(spec, levels, ncomp, trace, /*checkpoint=*/false);
+}
+
+WriteStats write_checkpoint(pfs::StorageBackend& backend,
+                            const PlotfileSpec& spec,
+                            const std::vector<LevelPlotData>& levels,
+                            iostats::TraceRecorder* trace) {
+  AMRIO_EXPECTS(!levels.empty());
+  const auto layouts = layouts_of(levels);
+  exec::SerialEngine engine(engine_ranks_for(layouts));
+  return write_on_engine(engine, backend, spec, levels, layouts, trace,
+                         /*checkpoint=*/true);
+}
+
+WriteStats write_plotfile_spmd(simmpi::Comm& comm, pfs::StorageBackend& backend,
+                               const PlotfileSpec& spec,
+                               const std::vector<LevelPlotData>& levels,
+                               iostats::TraceRecorder* trace) {
+  const int ncomp = checked_ncomp(spec, levels, "plotfile");
+  const auto layouts = layouts_of(levels);
+  for (const auto& lay : layouts)
+    AMRIO_EXPECTS_MSG(lay.dm.nranks() == comm.size(),
+                      "write_plotfile_spmd: DM ranks " << lay.dm.nranks()
+                                                       << " != comm size "
+                                                       << comm.size());
+  exec::CommCtx ctx(comm);
+  return write_plotfile_rank(ctx, backend, spec, levels, layouts, ncomp, trace,
+                             /*checkpoint=*/false);
 }
 
 }  // namespace amrio::plotfile

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/engine.hpp"
 #include "iostats/trace.hpp"
 #include "mesh/distribution.hpp"
 #include "mesh/geometry.hpp"
@@ -66,8 +67,20 @@ struct WriteStats {
 };
 
 /// Write a multi-level plotfile (the WriteMultiLevelPlotfile path the paper
-/// identifies in Castro). Events are recorded into `trace` when given, keyed
-/// by (spec.step, level, rank); metadata uses level/rank = -1.
+/// identifies in Castro) on an execution engine: each rank writes its own
+/// `Cell_D` files (concurrently under `exec::SpmdEngine`, as fibers under
+/// `exec::SerialEngine`), per-rank byte counts are gathered to rank 0, which
+/// writes all metadata. One write body serves every execution mode, so the
+/// engines are byte-identical by construction. Events are recorded into
+/// `trace` when given, keyed by (spec.step, level, rank); metadata uses
+/// level/rank = -1.
+WriteStats write_plotfile(exec::Engine& engine, pfs::StorageBackend& backend,
+                          const PlotfileSpec& spec,
+                          const std::vector<LevelPlotData>& levels,
+                          iostats::TraceRecorder* trace = nullptr);
+
+/// Convenience: write on a fiber-scheduled SerialEngine sized to the widest
+/// level distribution.
 WriteStats write_plotfile(pfs::StorageBackend& backend, const PlotfileSpec& spec,
                           const std::vector<LevelPlotData>& levels,
                           iostats::TraceRecorder* trace = nullptr);
@@ -87,12 +100,11 @@ WriteStats write_checkpoint(pfs::StorageBackend& backend,
                             const std::vector<LevelPlotData>& levels,
                             iostats::TraceRecorder* trace = nullptr);
 
-/// True SPMD N-to-N write over a simmpi communicator (comm.size() must equal
-/// the DistributionMapping rank count): each rank writes its own `Cell_D`
-/// files concurrently, per-rank byte counts are gathered to rank 0, which
-/// writes the metadata and returns the full statistics (other ranks return
-/// stats with only their own contributions). Byte-identical to
-/// write_plotfile (tested).
+/// Per-rank entry point for code already inside simmpi::run_spmd
+/// (comm.size() must equal the DistributionMapping rank count). Runs the
+/// same write body as the engine overloads; rank 0 returns the full
+/// statistics, other ranks return stats with only their own contributions.
+/// Byte-identical to write_plotfile (tested).
 WriteStats write_plotfile_spmd(simmpi::Comm& comm, pfs::StorageBackend& backend,
                                const PlotfileSpec& spec,
                                const std::vector<LevelPlotData>& levels,

@@ -129,8 +129,19 @@ void run_spmd(int nranks, const std::function<void(Comm&)>& fn);
 // template implementations
 
 namespace detail {
+/// Elementwise reduction combiner. kMin/kMax are NaN-propagating for
+/// floating-point types: `b < a` is false whenever either side is NaN, which
+/// would silently drop a NaN contribution (e.g. a corrupt bandwidth sample)
+/// depending on which rank it came from — instead any NaN input poisons the
+/// result, matching IEEE totalOrder-free MPI practice for error surfacing.
 template <typename T>
 T combine(T a, T b, ReduceOp op) {
+  if constexpr (std::is_floating_point_v<T>) {
+    if (op == ReduceOp::kMin || op == ReduceOp::kMax) {
+      if (a != a) return a;  // a is NaN
+      if (b != b) return b;  // b is NaN
+    }
+  }
   switch (op) {
     case ReduceOp::kSum: return a + b;
     case ReduceOp::kMin: return b < a ? b : a;

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "simmpi/comm.hpp"
@@ -44,6 +46,34 @@ TEST_P(CollectiveTest, AllreduceMinMaxProd) {
     for (int i = 1; i <= n; ++i) expected *= i;
     EXPECT_EQ(comm.allreduce(r, sm::ReduceOp::kProd), expected);
   });
+}
+
+TEST_P(CollectiveTest, MinMaxPropagateNaN) {
+  // a NaN bandwidth sample must poison the reduction no matter which rank
+  // holds it — `b < a` comparisons alone would drop NaN on every rank but 0
+  const int n = GetParam();
+  for (int bad = 0; bad < n; ++bad) {
+    sm::run_spmd(n, [&](sm::Comm& comm) {
+      const double local = comm.rank() == bad
+                               ? std::numeric_limits<double>::quiet_NaN()
+                               : static_cast<double>(comm.rank() + 1);
+      EXPECT_TRUE(std::isnan(comm.allreduce(local, sm::ReduceOp::kMin)))
+          << "NaN on rank " << bad;
+      EXPECT_TRUE(std::isnan(comm.allreduce(local, sm::ReduceOp::kMax)))
+          << "NaN on rank " << bad;
+    });
+  }
+}
+
+TEST(Combine, MinMaxNaNSafety) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(sm::detail::combine(nan, 1.0, sm::ReduceOp::kMin)));
+  EXPECT_TRUE(std::isnan(sm::detail::combine(1.0, nan, sm::ReduceOp::kMin)));
+  EXPECT_TRUE(std::isnan(sm::detail::combine(nan, 1.0, sm::ReduceOp::kMax)));
+  EXPECT_TRUE(std::isnan(sm::detail::combine(1.0, nan, sm::ReduceOp::kMax)));
+  // integers keep plain comparison semantics
+  EXPECT_EQ(sm::detail::combine(3, 5, sm::ReduceOp::kMin), 3);
+  EXPECT_EQ(sm::detail::combine(3, 5, sm::ReduceOp::kMax), 5);
 }
 
 TEST_P(CollectiveTest, VectorAllreduce) {
