@@ -44,7 +44,7 @@ struct SerialState {
         u64_result(static_cast<std::size_t>(n)),
         byte_slots(static_cast<std::size_t>(n)) {}
 
-  enum class FiberState { kReady, kWaitCollective, kWaitToken, kDone };
+  enum class FiberState { kReady, kWaitCollective, kWaitToken, kWaitBytes, kDone };
 
   struct Fiber {
     ucontext_t ctx{};
@@ -53,7 +53,7 @@ struct SerialState {
     std::unique_ptr<char[]> stack;
     std::size_t stack_size = 0;
     FiberState state = FiberState::kReady;
-    std::tuple<int, int, int> wait_key{};  // (src, dst, tag) for kWaitToken
+    std::tuple<int, int, int> wait_key{};  // (src, dst, tag) for kWaitToken/Bytes
   };
 
   int n;
@@ -70,8 +70,10 @@ struct SerialState {
   std::vector<std::span<const std::byte>> byte_slots;
   std::vector<std::byte> bytes_result;
 
-  // token mailboxes keyed by (src, dst, tag)
+  // token/byte mailboxes keyed by (src, dst, tag)
   std::map<std::tuple<int, int, int>, std::deque<std::uint64_t>> mail;
+  std::map<std::tuple<int, int, int>, std::deque<std::vector<std::byte>>>
+      byte_mail;
 
   std::exception_ptr first_error;
   bool aborted = false;
@@ -79,6 +81,11 @@ struct SerialState {
   bool token_available(const std::tuple<int, int, int>& key) const {
     const auto it = mail.find(key);
     return it != mail.end() && !it->second.empty();
+  }
+
+  bool bytes_available(const std::tuple<int, int, int>& key) const {
+    const auto it = byte_mail.find(key);
+    return it != byte_mail.end() && !it->second.empty();
   }
 };
 
@@ -145,6 +152,27 @@ class FiberCtx final : public RankCtx {
     }
     auto& q = st_->mail[key];
     const std::uint64_t v = q.front();
+    q.pop_front();
+    return v;
+  }
+
+  void send_bytes(std::span<const std::byte> data, int dest, int tag) override {
+    AMRIO_EXPECTS(dest >= 0 && dest < st_->n && dest != rank_);
+    st_->byte_mail[{rank_, dest, tag}].emplace_back(data.begin(), data.end());
+  }
+
+  std::vector<std::byte> recv_bytes(int src, int tag) override {
+    AMRIO_EXPECTS(src >= 0 && src < st_->n && src != rank_);
+    const std::tuple<int, int, int> key{src, rank_, tag};
+    while (!st_->bytes_available(key)) {
+      check_abort();
+      auto& f = st_->fibers[static_cast<std::size_t>(rank_)];
+      f.state = SerialState::FiberState::kWaitBytes;
+      f.wait_key = key;
+      yield();
+    }
+    auto& q = st_->byte_mail[key];
+    std::vector<std::byte> v = std::move(q.front());
     q.pop_front();
     return v;
   }
@@ -236,6 +264,10 @@ void fiber_trampoline(unsigned int hi, unsigned int lo) {
         if (!st.token_available(f.wait_key) && !st.aborted) continue;
         f.state = SerialState::FiberState::kReady;  // recv_token rechecks
       }
+      if (f.state == SerialState::FiberState::kWaitBytes) {
+        if (!st.bytes_available(f.wait_key) && !st.aborted) continue;
+        f.state = SerialState::FiberState::kReady;  // recv_bytes rechecks
+      }
       if (st.aborted && f.state == SerialState::FiberState::kWaitCollective)
         f.state = SerialState::FiberState::kReady;  // resume to throw
       if (f.state != SerialState::FiberState::kReady) continue;
@@ -284,6 +316,12 @@ class SingleCtx final : public RankCtx {
   std::uint64_t recv_token(int, int) override {
     throw std::runtime_error("SerialEngine: recv_token with one rank");
   }
+  void send_bytes(std::span<const std::byte>, int, int) override {
+    throw std::runtime_error("SerialEngine: send_bytes with one rank");
+  }
+  std::vector<std::byte> recv_bytes(int, int) override {
+    throw std::runtime_error("SerialEngine: recv_bytes with one rank");
+  }
 };
 
 }  // namespace
@@ -314,6 +352,39 @@ void SerialEngine::run(const RankFn& fn) {
   run_fibers(st, nranks_);
 
   if (st.first_error) std::rethrow_exception(st.first_error);
+}
+
+std::vector<std::vector<std::byte>> gatherv_group(
+    RankCtx& ctx, std::span<const std::byte> mine, std::span<const int> members,
+    int root, int tag) {
+  AMRIO_EXPECTS_MSG(!members.empty(), "gatherv_group: empty member list");
+  bool in_group = false;
+  bool root_in_group = false;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    AMRIO_EXPECTS_MSG(members[i] >= 0 && members[i] < ctx.nranks(),
+                      "gatherv_group: member rank out of range");
+    if (i > 0)
+      AMRIO_EXPECTS_MSG(members[i] > members[i - 1],
+                        "gatherv_group: members must be strictly ascending");
+    if (members[i] == ctx.rank()) in_group = true;
+    if (members[i] == root) root_in_group = true;
+  }
+  AMRIO_EXPECTS_MSG(in_group, "gatherv_group: calling rank not a member");
+  AMRIO_EXPECTS_MSG(root_in_group, "gatherv_group: root not a member");
+
+  if (ctx.rank() != root) {
+    ctx.send_bytes(mine, root, tag);
+    return {};
+  }
+  std::vector<std::vector<std::byte>> payloads;
+  payloads.reserve(members.size());
+  for (int member : members) {
+    if (member == root)
+      payloads.emplace_back(mine.begin(), mine.end());
+    else
+      payloads.push_back(ctx.recv_bytes(member, tag));
+  }
+  return payloads;
 }
 
 std::unique_ptr<Engine> make_engine(EngineKind kind, int nranks) {

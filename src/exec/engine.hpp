@@ -9,7 +9,8 @@
 /// over virtual ranks and a threaded path over simmpi — which had to be kept
 /// byte-identical by hand. This layer collapses them: drivers are written once
 /// against `RankCtx` (rank id, barrier, exscan_sum, gather/gatherv, tagged
-/// token send/recv) and an `Engine` decides how the ranks execute:
+/// token and byte-payload send/recv) and an `Engine` decides how the ranks
+/// execute:
 ///
 ///  * `SpmdEngine`  — real concurrency: one OS thread per rank via
 ///    `simmpi::run_spmd`, collectives through the shared-memory communicator.
@@ -60,7 +61,24 @@ class RankCtx {
   virtual void send_token(std::uint64_t value, int dest, int tag) = 0;
   /// Blocking tagged token receive.
   virtual std::uint64_t recv_token(int src, int tag) = 0;
+  /// Tagged point-to-point byte payload (staging shipments to aggregators):
+  /// buffered send, message boundaries preserved.
+  virtual void send_bytes(std::span<const std::byte> data, int dest,
+                          int tag) = 0;
+  /// Blocking tagged byte-payload receive (one message).
+  virtual std::vector<std::byte> recv_bytes(int src, int tag) = 0;
 };
+
+/// Group gatherv over point-to-point messages: every rank in `members`
+/// (strictly ascending rank ids) contributes `mine`; `root` (which must be a
+/// member) receives one payload per member, in member order, and everyone
+/// else receives an empty vector. Unlike RankCtx::gatherv this is *not* a
+/// global collective — only the listed members participate, so several
+/// aggregation groups can gather concurrently. This is the two-phase
+/// collective the staging layer uses to ship task documents to aggregators.
+std::vector<std::vector<std::byte>> gatherv_group(
+    RankCtx& ctx, std::span<const std::byte> mine, std::span<const int> members,
+    int root, int tag);
 
 using RankFn = std::function<void(RankCtx&)>;
 
@@ -131,6 +149,12 @@ class CommCtx final : public RankCtx {
   }
   std::uint64_t recv_token(int src, int tag) override {
     return comm_->recv<std::uint64_t>(src, tag).at(0);
+  }
+  void send_bytes(std::span<const std::byte> data, int dest, int tag) override {
+    comm_->send(data, dest, tag);
+  }
+  std::vector<std::byte> recv_bytes(int src, int tag) override {
+    return comm_->recv<std::byte>(src, tag);
   }
 
  private:

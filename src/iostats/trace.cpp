@@ -22,11 +22,21 @@ void TraceRecorder::record(IoEvent event) {
 
 void TraceRecorder::record_write(std::int64_t step, int level, int rank,
                                  const std::string& path, std::uint64_t bytes) {
+  record_staged_write(step, level, rank, path, bytes, /*tier=*/0,
+                      /*aggregator=*/-1);
+}
+
+void TraceRecorder::record_staged_write(std::int64_t step, int level, int rank,
+                                        const std::string& path,
+                                        std::uint64_t bytes, int tier,
+                                        int aggregator) {
   IoEvent e;
   e.op = IoEvent::Op::kWrite;
   e.step = step;
   e.level = level;
   e.rank = rank;
+  e.tier = tier;
+  e.aggregator = aggregator;
   e.path = path;
   e.bytes = bytes;
   record(std::move(e));

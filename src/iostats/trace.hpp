@@ -30,6 +30,12 @@ struct IoEvent {
   std::int64_t step = -1;
   int level = -1;
   int rank = -1;
+  /// Storage tier the write targeted (pfs::kTierPfs / kTierBurstBuffer).
+  int tier = 0;
+  /// Aggregation group that produced the write, -1 when unaggregated — lets
+  /// the characterization layer slice output by subfile the way it slices by
+  /// (step, level, task).
+  int aggregator = -1;
   std::string path;
   std::uint64_t bytes = 0;
 };
@@ -40,6 +46,10 @@ class TraceRecorder {
   void record(IoEvent event);
   void record_write(std::int64_t step, int level, int rank,
                     const std::string& path, std::uint64_t bytes);
+  /// Staged variant: also records the target tier and aggregation group.
+  void record_staged_write(std::int64_t step, int level, int rank,
+                           const std::string& path, std::uint64_t bytes,
+                           int tier, int aggregator);
 
   /// Merged snapshot of all events in stable (step, rank) order; events of
   /// one rank keep their recording order. Deterministic across engines.

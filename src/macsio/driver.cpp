@@ -1,10 +1,12 @@
 #include "macsio/driver.hpp"
 
 #include <memory>
+#include <optional>
 #include <set>
 #include <sstream>
 
 #include "macsio/interfaces.hpp"
+#include "staging/aggregator.hpp"
 #include "util/assert.hpp"
 #include "util/format.hpp"
 #include "util/json.hpp"
@@ -54,6 +56,46 @@ std::string dump_file_path_for(const Params& p, const IoInterface& iface,
          iface.extension();
 }
 
+std::string aggregated_file_path_for(const Params& p, const IoInterface& iface,
+                                     int group, int dump) {
+  return p.output_dir + "/data/macsio_" + iface.file_tag() + "_agg_" +
+         util::zero_pad(static_cast<std::uint64_t>(group), 5) + "_" +
+         util::zero_pad(static_cast<std::uint64_t>(dump), 3) + "." +
+         iface.extension();
+}
+
+std::string aggregated_index_path_for(const Params& p, const IoInterface& iface,
+                                      int dump) {
+  return p.output_dir + "/metadata/macsio_" + iface.file_tag() + "_index_" +
+         util::zero_pad(static_cast<std::uint64_t>(dump), 3) + ".txt";
+}
+
+// Fixed-width index layout: 51-byte header + one 54-byte line per task
+// ("ggggg ttttt <offset:20> <bytes:20>\n") — exactly computable, see
+// aggregated_index_bytes().
+std::string agg_index_text(const Params& p, const staging::AggTopology& topo,
+                           int dump,
+                           const std::vector<std::uint64_t>& task_bytes) {
+  std::string out = "macsio-agg-index dump " +
+                    util::zero_pad(static_cast<std::uint64_t>(dump), 3) +
+                    " groups " +
+                    util::zero_pad(static_cast<std::uint64_t>(topo.ngroups()), 5) +
+                    " ranks " +
+                    util::zero_pad(static_cast<std::uint64_t>(p.nprocs), 5) +
+                    "\n";
+  for (int g = 0; g < topo.ngroups(); ++g) {
+    std::uint64_t offset = 0;
+    for (int r : topo.members_of(g)) {
+      const std::uint64_t b = task_bytes[static_cast<std::size_t>(r)];
+      out += util::zero_pad(static_cast<std::uint64_t>(g), 5) + " " +
+             util::zero_pad(static_cast<std::uint64_t>(r), 5) + " " +
+             util::zero_pad(offset, 20) + " " + util::zero_pad(b, 20) + "\n";
+      offset += b;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string root_meta_text(const Params& p, int dump, const PartSpec& spec,
@@ -79,6 +121,10 @@ std::string root_meta_text(const Params& p, int dump, const PartSpec& spec,
 }
 
 std::string dump_file_path(const Params& p, int rank, int dump) {
+  if (p.aggregators > 0) {
+    const auto topo = staging::AggTopology::make(p.nprocs, p.aggregators);
+    return aggregated_file_path(p, topo.group_of(rank), dump);
+  }
   return dump_file_path_for(p, *make_interface(p.interface), rank, dump);
 }
 
@@ -86,6 +132,20 @@ std::string root_file_path(const Params& p, int dump) {
   const auto iface = make_interface(p.interface);
   return p.output_dir + "/metadata/macsio_" + iface->file_tag() + "_root_" +
          util::zero_pad(static_cast<std::uint64_t>(dump), 3) + ".json";
+}
+
+std::string aggregated_file_path(const Params& p, int group, int dump) {
+  return aggregated_file_path_for(p, *make_interface(p.interface), group, dump);
+}
+
+std::string aggregated_index_path(const Params& p, int dump) {
+  return aggregated_index_path_for(p, *make_interface(p.interface), dump);
+}
+
+std::uint64_t aggregated_index_bytes(const Params& p) {
+  // header "macsio-agg-index dump DDD groups GGGGG ranks RRRRR\n" = 51 bytes;
+  // per-task line "GGGGG TTTTT <20-digit offset> <20-digit bytes>\n" = 54.
+  return 51 + 54 * static_cast<std::uint64_t>(p.nprocs);
 }
 
 namespace {
@@ -103,6 +163,16 @@ DumpStats run_macsio_rank(exec::RankCtx& ctx, const Params& params,
   const auto iface = make_interface(params.interface);
   const int rank = ctx.rank();
   constexpr int kBatonTag = 41;
+  constexpr int kShipTag = 73;
+
+  const bool aggregated = params.aggregators > 0;
+  std::optional<staging::AggTopology> topo;
+  if (aggregated)
+    topo = staging::AggTopology::make(params.nprocs, params.aggregators);
+  const staging::AggregationConfig agg_cfg{params.aggregators,
+                                           params.agg_link_bandwidth, 1.0e-6};
+  const int tier =
+      params.stage_to_bb ? pfs::kTierBurstBuffer : pfs::kTierPfs;
 
   DumpStats stats;
   if (rank == 0) {
@@ -115,30 +185,13 @@ DumpStats run_macsio_rank(exec::RankCtx& ctx, const Params& params,
     const PartSpec spec =
         make_part_spec(params.part_bytes_at_dump(dump), params.vars_per_part);
     const double submit_time = dump * params.compute_time;
-    const std::string path = dump_file_path_for(params, *iface, rank, dump);
-
-    // MIF baton: within a file group, members write strictly in rank order.
-    // SIF is one global group. The leader truncates; followers append after
-    // receiving the baton from their predecessor.
-    const bool leader = (params.file_mode == FileMode::kSif)
-                            ? (rank == 0)
-                            : is_group_leader(params, rank);
-    const bool has_predecessor = !leader;
-    const bool same_file_successor =
-        (rank + 1 < params.nprocs) &&
-        dump_file_path_for(params, *iface, rank + 1, dump) == path;
-
-    if (has_predecessor) {
-      (void)ctx.recv_token(rank - 1, kBatonTag);
-    }
+    util::Xoshiro256 rng(params.seed ^
+                         (static_cast<std::uint64_t>(dump) << 20) ^
+                         static_cast<std::uint64_t>(rank));
+    // `written` is this rank's task-document bytes, gathered below either way.
     std::uint64_t written = 0;
-    {
-      pfs::OutFile out(backend, path,
-                       leader ? pfs::OpenMode::kTruncate : pfs::OpenMode::kAppend);
-      FileSink sink(out);
-      util::Xoshiro256 rng(params.seed ^
-                           (static_cast<std::uint64_t>(dump) << 20) ^
-                           static_cast<std::uint64_t>(rank));
+
+    auto serialize_task_doc = [&](Sink& sink) {
       iface->begin_task_doc(sink, rank, dump);
       const int nparts = params.parts_of_rank(rank);
       for (int part = 0; part < nparts; ++part) {
@@ -146,13 +199,64 @@ DumpStats run_macsio_rank(exec::RankCtx& ctx, const Params& params,
         iface->write_part(sink, spec, part, params.fill, rng);
       }
       iface->end_task_doc(sink, params.meta_size);
-      written = out.bytes_written();
-      out.close();  // surface flush errors (destructor closes quietly)
+    };
+
+    if (aggregated) {
+      // Two-phase aggregation: serialize into memory, ship to the group's
+      // aggregator, and let only the aggregator touch the file system — the
+      // subfile holds the group's task documents concatenated in rank order,
+      // byte-identical to what the members would have written themselves.
+      const int group = topo->group_of(rank);
+      const int agg = topo->aggregator_of_group(group);
+      std::vector<std::byte> doc;
+      VectorSink vsink(doc);
+      serialize_task_doc(vsink);
+      written = doc.size();
+      const auto payloads =
+          exec::gatherv_group(ctx, doc, topo->members_of(group), agg, kShipTag);
+      if (rank == agg) {
+        const std::string path =
+            aggregated_file_path_for(params, *iface, group, dump);
+        pfs::OutFile out(backend, path);
+        for (const auto& payload : payloads) out.write(payload);
+        const std::uint64_t subfile_bytes = out.bytes_written();
+        out.close();  // surface flush errors (destructor closes quietly)
+        if (trace != nullptr)
+          trace->record_staged_write(dump, 0, rank, path, subfile_bytes, tier,
+                                     group);
+      }
+    } else {
+      const std::string path = dump_file_path_for(params, *iface, rank, dump);
+
+      // MIF baton: within a file group, members write strictly in rank order.
+      // SIF is one global group. The leader truncates; followers append after
+      // receiving the baton from their predecessor.
+      const bool leader = (params.file_mode == FileMode::kSif)
+                              ? (rank == 0)
+                              : is_group_leader(params, rank);
+      const bool has_predecessor = !leader;
+      const bool same_file_successor =
+          (rank + 1 < params.nprocs) &&
+          dump_file_path_for(params, *iface, rank + 1, dump) == path;
+
+      if (has_predecessor) {
+        (void)ctx.recv_token(rank - 1, kBatonTag);
+      }
+      {
+        pfs::OutFile out(backend, path,
+                         leader ? pfs::OpenMode::kTruncate
+                                : pfs::OpenMode::kAppend);
+        FileSink sink(out);
+        serialize_task_doc(sink);
+        written = out.bytes_written();
+        out.close();  // surface flush errors (destructor closes quietly)
+      }
+      if (same_file_successor) {
+        ctx.send_token(written, rank + 1, kBatonTag);
+      }
+      if (trace != nullptr)
+        trace->record_staged_write(dump, 0, rank, path, written, tier, -1);
     }
-    if (same_file_successor) {
-      ctx.send_token(written, rank + 1, kBatonTag);
-    }
-    if (trace != nullptr) trace->record_write(dump, 0, rank, path, written);
 
     // Gather per-rank byte counts so rank 0 can write the root metadata and
     // accumulate statistics — this is MACSio's end-of-dump collective.
@@ -165,9 +269,37 @@ DumpStats run_macsio_rank(exec::RankCtx& ctx, const Params& params,
         const std::uint64_t b = all_bytes[static_cast<std::size_t>(r)];
         stats.task_bytes[static_cast<std::size_t>(dump)][static_cast<std::size_t>(r)] = b;
         dump_bytes += b;
-        stats.requests.push_back(pfs::IoRequest{
-            r, submit_time, dump_file_path_for(params, *iface, r, dump), b});
+        if (!aggregated) {
+          stats.requests.push_back(pfs::IoRequest{
+              r, submit_time, dump_file_path_for(params, *iface, r, dump), b,
+              tier});
+        }
       }
+      if (aggregated) {
+        // One request per subfile, submitted once the group's documents have
+        // crossed the interconnect to the aggregator.
+        for (int g = 0; g < topo->ngroups(); ++g) {
+          const int agg = topo->aggregator_of_group(g);
+          std::uint64_t subfile_bytes = 0;
+          std::uint64_t shipped = 0;
+          int nmessages = 0;
+          for (int r : topo->members_of(g)) {
+            const std::uint64_t b = all_bytes[static_cast<std::size_t>(r)];
+            subfile_bytes += b;
+            if (r != agg) {
+              shipped += b;
+              ++nmessages;
+            }
+          }
+          const double ready =
+              submit_time + staging::ship_cost(agg_cfg, shipped, nmessages);
+          stats.requests.push_back(pfs::IoRequest{
+              agg, ready, aggregated_file_path_for(params, *iface, g, dump),
+              subfile_bytes, tier});
+        }
+      }
+      // The root document reports the dump's task-data total, aggregated or
+      // not — the index (written below) is bookkeeping on top of it.
       const std::string root_path = root_file_path(params, dump);
       const std::string root = root_meta_text(params, dump, spec, dump_bytes);
       {
@@ -175,11 +307,30 @@ DumpStats run_macsio_rank(exec::RankCtx& ctx, const Params& params,
         root_out.write(root);
         root_out.close();
       }
+      if (aggregated) {
+        // Rank 0 writes the per-dump index locating every task document.
+        const std::string index_path =
+            aggregated_index_path_for(params, *iface, dump);
+        const std::string index = agg_index_text(params, *topo, dump, all_bytes);
+        AMRIO_ENSURES(index.size() == aggregated_index_bytes(params));
+        {
+          pfs::OutFile index_out(backend, index_path);
+          index_out.write(index);
+          index_out.close();
+        }
+        dump_bytes += index.size();
+        if (trace != nullptr)
+          trace->record_staged_write(dump, -1, 0, index_path, index.size(),
+                                     tier, -1);
+        stats.requests.push_back(
+            pfs::IoRequest{0, submit_time, index_path, index.size(), tier});
+      }
       dump_bytes += root.size();
       if (trace != nullptr)
-        trace->record_write(dump, -1, 0, root_path, root.size());
+        trace->record_staged_write(dump, -1, 0, root_path, root.size(), tier,
+                                   -1);
       stats.requests.push_back(
-          pfs::IoRequest{0, submit_time, root_path, root.size()});
+          pfs::IoRequest{0, submit_time, root_path, root.size(), tier});
       stats.bytes_per_dump.push_back(dump_bytes);
       stats.total_bytes += dump_bytes;
     }

@@ -10,6 +10,16 @@
 /// `--compute_time` spacing the dump bursts on the logical clock (the
 /// requests list can be replayed through pfs::SimFs for "dynamic" studies).
 ///
+/// With `--aggregators N` the dump loop switches to two-phase aggregation:
+///
+///   data/macsio_json_agg_{groupID:05d}_{stepID:03d}.json  (one per group)
+///   metadata/macsio_json_index_{stepID:03d}.txt           (task locations)
+///
+/// — ranks serialize their task documents in memory and ship them to their
+/// group's aggregator (`exec::gatherv_group`), so only aggregators open
+/// files; the subfile holds the group's documents in rank order,
+/// byte-conserving against `task_doc_bytes()`.
+///
 /// There is ONE driver body, written SPMD-style against `exec::RankCtx`
 /// (MIF baton-passing between group members, end-of-dump gather to rank 0).
 /// How the ranks execute is the engine's choice: `exec::SerialEngine` runs
@@ -64,10 +74,20 @@ DumpStats run_macsio_spmd(simmpi::Comm& comm, const Params& params,
                           pfs::StorageBackend& backend,
                           iostats::TraceRecorder* trace = nullptr);
 
-/// Path of a task's dump file (group file under MIF, shared file under SIF).
+/// Path of a task's dump file (group file under MIF, shared file under SIF,
+/// the rank's group subfile under two-phase aggregation).
 std::string dump_file_path(const Params& params, int rank, int dump);
 /// Path of the per-dump root metadata file.
 std::string root_file_path(const Params& params, int dump);
+/// Subfile written by `group`'s aggregator at `dump` (params.aggregators > 0).
+std::string aggregated_file_path(const Params& params, int group, int dump);
+/// Per-dump aggregation index (rank 0): one fixed-width line per task with
+/// its (group, task, offset, bytes) location inside the subfiles.
+std::string aggregated_index_path(const Params& params, int dump);
+/// Exact size of the aggregation index — fixed-width fields make it
+/// computable without writing anything (the byte-conservation checks rely on
+/// aggregated total == sum of task documents + this).
+std::uint64_t aggregated_index_bytes(const Params& params);
 /// The per-dump root metadata document (also used by the model layer to
 /// predict dump sizes exactly). `dump_bytes` is the task-data total of the
 /// dump, which the document reports.

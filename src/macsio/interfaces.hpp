@@ -52,6 +52,25 @@ class CountingSink final : public Sink {
   std::uint64_t bytes_ = 0;
 };
 
+/// Appends into a caller-owned byte buffer — the staging layer serializes a
+/// rank's task document through this before shipping it to its aggregator.
+class VectorSink final : public Sink {
+ public:
+  explicit VectorSink(std::vector<std::byte>& buf) : buf_(&buf) {}
+  void write(std::string_view text) override {
+    write(std::as_bytes(std::span<const char>(text.data(), text.size())));
+  }
+  void write(std::span<const std::byte> data) override {
+    buf_->insert(buf_->end(), data.begin(), data.end());
+    written_ += data.size();
+  }
+  std::uint64_t bytes() const override { return written_; }
+
+ private:
+  std::vector<std::byte>* buf_;
+  std::uint64_t written_ = 0;
+};
+
 class IoInterface {
  public:
   virtual ~IoInterface() = default;

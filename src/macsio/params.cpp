@@ -49,6 +49,11 @@ Params Params::from_cli(const std::vector<std::string>& args) {
                  std::string("0"));
   cli.add_option("dataset_growth", "per-dump size multiplier", 1,
                  std::string("1"));
+  cli.add_option("aggregators", "two-phase aggregation group count", 1);
+  cli.add_option("agg_link_bw", "rank-to-aggregator link bandwidth (bytes/s)",
+                 1, std::string("1.25e10"));
+  cli.add_option("staging", "dump staging tier: none|bb", 1,
+                 std::string("none"));
   cli.add_option("nprocs", "virtual MPI tasks", 1, std::string("1"));
   cli.add_option("output_dir", "output directory", 1, std::string("macsio_out"));
   cli.add_option("fill", "value fill mode: sized|real", 1, std::string("sized"));
@@ -79,6 +84,20 @@ Params Params::from_cli(const std::vector<std::string>& args) {
   p.compute_time = cli.get_double("compute_time");
   p.meta_size = util::parse_bytes(cli.get("meta_size"));
   p.dataset_growth = cli.get_double("dataset_growth");
+  if (cli.has("aggregators")) {  // no default: present only when given
+    const std::int64_t aggs = cli.get_int("aggregators");
+    if (aggs <= 0)
+      throw std::invalid_argument(
+          "macsio: --aggregators must be a positive aggregator count (got " +
+          std::to_string(aggs) + "); omit the flag to disable aggregation");
+    p.aggregators = static_cast<int>(aggs);
+  }
+  p.agg_link_bandwidth = cli.get_double("agg_link_bw");
+  const std::string staging = util::to_lower(cli.get("staging"));
+  if (staging == "bb") p.stage_to_bb = true;
+  else if (staging != "none")
+    throw std::invalid_argument("macsio: bad staging tier '" + staging +
+                                "' (expected none|bb)");
   p.nprocs = static_cast<int>(cli.get_int("nprocs"));
   p.output_dir = cli.get("output_dir");
   const std::string fill = util::to_lower(cli.get("fill"));
@@ -99,9 +118,12 @@ std::vector<std::string> Params::to_cli() const {
   push("interface", to_string(interface));
   argv.push_back("--parallel_file_mode");
   argv.push_back(to_string(file_mode));
-  argv.push_back(file_mode == FileMode::kMif
-                     ? std::to_string(mif_files == 0 ? nprocs : mif_files)
-                     : std::string("1"));
+  // Under aggregation the subfile count comes from --aggregators; emit the
+  // grouping-disabled form so the argv round-trips through validate().
+  argv.push_back(file_mode != FileMode::kMif ? std::string("1")
+                 : aggregators > 0
+                     ? std::string("0")
+                     : std::to_string(mif_files == 0 ? nprocs : mif_files));
   push("num_dumps", std::to_string(num_dumps));
   push("part_size", std::to_string(part_size));
   push("avg_num_parts", util::format_g(avg_num_parts, 17));
@@ -109,6 +131,11 @@ std::vector<std::string> Params::to_cli() const {
   push("compute_time", util::format_g(compute_time, 17));
   push("meta_size", std::to_string(meta_size));
   push("dataset_growth", util::format_g(dataset_growth, 17));
+  if (aggregators > 0) {
+    push("aggregators", std::to_string(aggregators));
+    push("agg_link_bw", util::format_g(agg_link_bandwidth, 17));
+  }
+  if (stage_to_bb) push("staging", "bb");
   push("nprocs", std::to_string(nprocs));
   push("output_dir", output_dir);
   push("fill", fill == FillMode::kSized ? "sized" : "real");
@@ -122,6 +149,10 @@ std::string Params::to_command_line() const {
 
 void Params::validate() const {
   AMRIO_EXPECTS_MSG(num_dumps >= 1, "macsio: num_dumps must be >= 1");
+  // the 3-digit dump and 5-digit task fields are baked into the output file
+  // names and the fixed-width aggregation index
+  AMRIO_EXPECTS_MSG(num_dumps <= 999, "macsio: num_dumps must be <= 999");
+  AMRIO_EXPECTS_MSG(nprocs <= 99999, "macsio: nprocs must be <= 99999");
   AMRIO_EXPECTS_MSG(part_size >= 8, "macsio: part_size must be >= 8 bytes");
   AMRIO_EXPECTS_MSG(avg_num_parts > 0, "macsio: avg_num_parts must be > 0");
   AMRIO_EXPECTS_MSG(vars_per_part >= 1, "macsio: vars_per_part must be >= 1");
@@ -133,6 +164,16 @@ void Params::validate() const {
   AMRIO_EXPECTS_MSG(mif_files >= 0, "macsio: MIF file count must be >= 0");
   AMRIO_EXPECTS_MSG(mif_files <= nprocs,
                     "macsio: MIF file count cannot exceed nprocs");
+  AMRIO_EXPECTS_MSG(aggregators >= 0, "macsio: aggregators must be >= 0");
+  AMRIO_EXPECTS_MSG(aggregators <= nprocs,
+                    "macsio: aggregators cannot exceed nprocs");
+  AMRIO_EXPECTS_MSG(aggregators == 0 || file_mode == FileMode::kMif,
+                    "macsio: two-phase aggregation requires MIF file mode");
+  AMRIO_EXPECTS_MSG(aggregators == 0 || mif_files == 0,
+                    "macsio: aggregation supersedes MIF file grouping — use "
+                    "--aggregators or MIF <n>, not both");
+  AMRIO_EXPECTS_MSG(agg_link_bandwidth > 0,
+                    "macsio: agg_link_bw must be > 0");
 }
 
 std::uint64_t Params::part_bytes_at_dump(int dump) const {

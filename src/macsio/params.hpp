@@ -33,6 +33,22 @@ struct Params {
   std::uint64_t meta_size = 0;      ///< --meta_size (extra bytes per task)
   double dataset_growth = 1.0;      ///< --dataset_growth (per-dump multiplier)
 
+  // staging subsystem (two-phase aggregation + burst-buffer tier)
+  /// --aggregators: partition ranks into this many contiguous groups;
+  /// non-aggregator ranks ship their task documents to their group's
+  /// aggregator, which writes one subfile per group per dump (plus one index
+  /// per dump from rank 0). 0 = no aggregation (classic MIF/SIF). Ranks that
+  /// do not divide evenly are round-robined over the leading groups,
+  /// deterministically. Requires MIF.
+  int aggregators = 0;
+  /// --agg_link_bw: modeled interconnect bandwidth (bytes/sec) for shipping
+  /// task documents to aggregators; the cost lands on the logical clock of
+  /// the subfile's I/O request.
+  double agg_link_bandwidth = 12.5e9;
+  /// --staging bb: tag every emitted pfs::IoRequest for the burst-buffer
+  /// tier so SimFs replays absorb at BB bandwidth and drain asynchronously.
+  bool stage_to_bb = false;
+
   // run context (what jsrun provided in the paper's Listing 1)
   int nprocs = 1;
   std::string output_dir = "macsio_out";
@@ -44,6 +60,7 @@ struct Params {
   ///   --parallel_file_mode MIF <n> | SIF 1
   ///   --num_dumps N --part_size 1.5M --avg_num_parts 2.5 --vars_per_part 4
   ///   --compute_time 0.5 --meta_size 4K --dataset_growth 1.013
+  ///   --aggregators 8 --agg_link_bw 1.25e10 --staging none|bb
   ///   --nprocs N --output_dir path --fill real|sized --seed S
   /// Throws std::invalid_argument on unknown/malformed arguments.
   static Params from_cli(const std::vector<std::string>& args);

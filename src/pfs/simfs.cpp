@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <map>
 #include <queue>
 
@@ -28,38 +29,110 @@ SimFs::SimFs(SimFsConfig cfg) : cfg_(cfg) {
   AMRIO_EXPECTS(cfg_.ost_bandwidth > 0 && cfg_.client_bandwidth > 0);
   AMRIO_EXPECTS(cfg_.mds_latency >= 0);
   AMRIO_EXPECTS(cfg_.variability_sigma >= 0);
+  if (cfg_.bb.enabled) {
+    AMRIO_EXPECTS_MSG(cfg_.bb.nodes >= 1, "SimFs: bb.nodes must be >= 1");
+    AMRIO_EXPECTS_MSG(cfg_.bb.ranks_per_node >= 1,
+                      "SimFs: bb.ranks_per_node must be >= 1");
+    AMRIO_EXPECTS_MSG(cfg_.bb.write_bandwidth > 0 && cfg_.bb.drain_bandwidth > 0,
+                      "SimFs: bb bandwidths must be > 0");
+    AMRIO_EXPECTS_MSG(cfg_.bb.drain_concurrency >= 1,
+                      "SimFs: bb.drain_concurrency must be >= 1");
+  }
 }
 
 int SimFs::ost_of(const std::string& file) const {
   return static_cast<int>(fnv1a(file) % static_cast<std::uint64_t>(cfg_.n_ost));
 }
 
+int SimFs::node_of(int client) const {
+  AMRIO_EXPECTS(client >= 0);
+  return (client / std::max(cfg_.bb.ranks_per_node, 1)) %
+         std::max(cfg_.bb.nodes, 1);
+}
+
 std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests) {
-  // Request state while in flight.
+  // Request state while streaming chunks onto the OST layer. Both direct
+  // writes and burst-buffer drains become flights; they differ only in the
+  // client-side rate cap and in what happens at completion.
   struct Flight {
     std::size_t index;          // into requests/results
     std::uint64_t remaining;    // data bytes not yet committed
     int next_stripe = 0;        // round-robin position in the stripe set
     int first_ost = 0;
     double ready = 0.0;         // client-side time the next chunk can issue
+    double rate = 0.0;          // client/drain-stream bandwidth cap
+    bool is_drain = false;
+    int node = 0;               // BB node (drains only)
   };
 
   std::vector<IoResult> results(requests.size());
 
-  // Phase 1: metadata. The MDS services creates FIFO by submit time (ties by
-  // request order, which is deterministic).
+  // Phase 1: metadata. The MDS services creates FIFO by submit time; ties are
+  // broken by (client, file) then request index, so the service order — and
+  // with it every downstream time — is independent of request-list order for
+  // distinct (client, file) pairs (documented guarantee; drain replays rely
+  // on it).
   std::vector<std::size_t> order(requests.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::stable_sort(order.begin(), order.end(),
                    [&](std::size_t a, std::size_t b) {
-                     return requests[a].submit_time < requests[b].submit_time;
+                     const IoRequest& ra = requests[a];
+                     const IoRequest& rb = requests[b];
+                     if (ra.submit_time != rb.submit_time)
+                       return ra.submit_time < rb.submit_time;
+                     if (ra.client != rb.client) return ra.client < rb.client;
+                     return ra.file < rb.file;
                    });
-  double mds_free = 0.0;
+
+  const bool bb_on = cfg_.bb.enabled;
+
+  // Phase 2 state: one event queue drives absorbs, drain-stream starts, and
+  // OST chunk issues. Kind order at equal times: chunks first (so a drain
+  // completion frees capacity before a stalled absorb re-tries), then drain
+  // starts, then absorb tries; seq (push order) makes everything FIFO and
+  // deterministic.
+  enum EvKind { kChunk = 0, kDrainStart = 1, kAbsorbTry = 2 };
+  struct Event {
+    double time;
+    int kind;
+    std::uint64_t seq;
+    std::size_t id;  // flight index (kChunk) or request index (others)
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      if (kind != other.kind) return kind > other.kind;
+      return seq > other.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> pq;
+  std::uint64_t seq = 0;
   std::vector<Flight> flights;
   flights.reserve(requests.size());
+
+  struct Node {
+    double ingest_free = 0.0;       // absorb server is FIFO per node
+    std::uint64_t occupancy = 0;    // staged bytes not yet drained
+    // free times of the node's currently idle drain streams (min-heap);
+    // size + running drains == drain_concurrency at all times
+    std::priority_queue<double, std::vector<double>, std::greater<double>> slots;
+    std::deque<std::size_t> pending_drains;  // absorbed, all streams busy
+    std::vector<std::size_t> waiting;  // capacity-stalled absorbs, FIFO
+  };
+  std::vector<Node> nodes;
+  if (bb_on) {
+    nodes.resize(static_cast<std::size_t>(cfg_.bb.nodes));
+    for (auto& nd : nodes)
+      for (int s = 0; s < cfg_.bb.drain_concurrency; ++s) nd.slots.push(0.0);
+  }
+
+  double mds_free = 0.0;
   for (std::size_t idx : order) {
     const IoRequest& req = requests[idx];
     AMRIO_EXPECTS(req.client >= 0);
+    const bool staged = bb_on && req.tier == kTierBurstBuffer;
+    if (staged && cfg_.bb.capacity > 0)
+      AMRIO_EXPECTS_MSG(req.bytes <= cfg_.bb.capacity,
+                        "SimFs: staged request larger than bb.capacity can "
+                        "never be absorbed");
     const double open_start = std::max(req.submit_time, mds_free);
     const double open_end = open_start + cfg_.mds_latency;
     mds_free = open_end;
@@ -67,37 +140,28 @@ std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests) {
     res.open_start = open_start;
     res.open_end = open_end;
     res.end = open_end;  // zero-byte files end at create
+    res.pfs_end = open_end;
     res.bytes = req.bytes;
+    res.tier = staged ? kTierBurstBuffer : kTierPfs;
     res.first_ost = static_cast<int>(
-        fnv1a(requests[idx].file) % static_cast<std::uint64_t>(cfg_.n_ost));
-    if (req.bytes > 0) {
+        fnv1a(req.file) % static_cast<std::uint64_t>(cfg_.n_ost));
+    if (req.bytes == 0) continue;
+    if (staged) {
+      pq.push({open_end, kAbsorbTry, seq++, idx});
+    } else {
       Flight fl;
       fl.index = idx;
       fl.remaining = req.bytes;
       fl.first_ost = res.first_ost;
       fl.ready = open_end;
+      fl.rate = cfg_.client_bandwidth;
       flights.push_back(fl);
+      pq.push({fl.ready, kChunk, seq++, flights.size() - 1});
     }
   }
 
-  // Phase 2: data chunks, event-driven. Each flight issues one chunk at a
-  // time; the earliest-ready flight goes next (ties broken by request index
-  // for determinism).
-  struct Event {
-    double time;
-    std::size_t flight;
-    bool operator>(const Event& other) const {
-      if (time != other.time) return time > other.time;
-      return flight > other.flight;
-    }
-  };
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> pq;
-  for (std::size_t f = 0; f < flights.size(); ++f)
-    pq.push({flights[f].ready, f});
-
   std::vector<double> ost_free(static_cast<std::size_t>(cfg_.n_ost), 0.0);
   util::Xoshiro256 rng(cfg_.seed);
-  const double eff_bw = std::min(cfg_.ost_bandwidth, cfg_.client_bandwidth);
   // Mean-corrected lognormal: E[exp(sigma Z - sigma^2/2)] = 1, so turning the
   // noise on does not change mean service time.
   const double mu = -0.5 * cfg_.variability_sigma * cfg_.variability_sigma;
@@ -105,27 +169,93 @@ std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests) {
   while (!pq.empty()) {
     const Event ev = pq.top();
     pq.pop();
-    Flight& fl = flights[ev.flight];
-    const std::uint64_t chunk = std::min<std::uint64_t>(fl.remaining, cfg_.stripe_size);
-    const int ost =
-        (fl.first_ost + fl.next_stripe) % cfg_.n_ost;
+
+    if (ev.kind == kAbsorbTry) {
+      const std::size_t idx = ev.id;
+      const IoRequest& req = requests[idx];
+      Node& nd = nodes[static_cast<std::size_t>(node_of(req.client))];
+      if (nd.ingest_free > ev.time) {  // absorb server busy: come back later
+        pq.push({nd.ingest_free, kAbsorbTry, seq++, idx});
+        continue;
+      }
+      if (cfg_.bb.capacity > 0 &&
+          nd.occupancy + req.bytes > cfg_.bb.capacity) {
+        nd.waiting.push_back(idx);  // woken when a drain frees space
+        continue;
+      }
+      // Node-local absorb: burst-buffer bandwidth alone (no NIC crossing).
+      const double absorb_end =
+          ev.time + static_cast<double>(req.bytes) / cfg_.bb.write_bandwidth;
+      nd.occupancy += req.bytes;
+      nd.ingest_free = absorb_end;
+      results[idx].end = absorb_end;  // perceived completion
+      pq.push({absorb_end, kDrainStart, seq++, idx});
+      continue;
+    }
+
+    if (ev.kind == kDrainStart) {
+      const std::size_t idx = ev.id;
+      const int node = node_of(requests[idx].client);
+      Node& nd = nodes[static_cast<std::size_t>(node)];
+      if (nd.slots.empty()) {  // every drain stream busy: wait for a release
+        nd.pending_drains.push_back(idx);
+        continue;
+      }
+      nd.slots.pop();  // stream acquired; released at flight completion
+      Flight fl;
+      fl.index = idx;
+      fl.remaining = requests[idx].bytes;
+      fl.first_ost = results[idx].first_ost;
+      fl.ready = ev.time;
+      fl.rate = cfg_.bb.drain_bandwidth;
+      fl.is_drain = true;
+      fl.node = node;
+      flights.push_back(fl);
+      pq.push({fl.ready, kChunk, seq++, flights.size() - 1});
+      continue;
+    }
+
+    // kChunk: issue the flight's next chunk onto its OST.
+    Flight& fl = flights[ev.id];
+    const std::uint64_t chunk =
+        std::min<std::uint64_t>(fl.remaining, cfg_.stripe_size);
+    const int ost = (fl.first_ost + fl.next_stripe) % cfg_.n_ost;
     fl.next_stripe = (fl.next_stripe + 1) % cfg_.stripe_count;
 
-    double service = static_cast<double>(chunk) / eff_bw;
+    double service =
+        static_cast<double>(chunk) / std::min(fl.rate, cfg_.ost_bandwidth);
     if (cfg_.variability_sigma > 0)
       service *= rng.lognormal(mu, cfg_.variability_sigma);
 
-    const double start = std::max(fl.ready, ost_free[static_cast<std::size_t>(ost)]);
+    const double start =
+        std::max(fl.ready, ost_free[static_cast<std::size_t>(ost)]);
     const double end = start + service;
     ost_free[static_cast<std::size_t>(ost)] = end;
     fl.ready = end;
     fl.remaining -= chunk;
 
-    if (fl.remaining == 0) {
-      results[fl.index].end = end;
-    } else {
-      pq.push({fl.ready, ev.flight});
+    if (fl.remaining > 0) {
+      pq.push({fl.ready, kChunk, seq++, ev.id});
+      continue;
     }
+    IoResult& res = results[fl.index];
+    res.pfs_end = end;
+    if (!fl.is_drain) {
+      res.end = end;
+      continue;
+    }
+    // Drain complete: free staging space and the stream, hand the stream to
+    // the next absorbed-but-undrained request, wake stalled absorbs.
+    Node& nd = nodes[static_cast<std::size_t>(fl.node)];
+    nd.occupancy -= res.bytes;
+    nd.slots.push(end);
+    if (!nd.pending_drains.empty()) {
+      const std::size_t next = nd.pending_drains.front();
+      nd.pending_drains.pop_front();
+      pq.push({end, kDrainStart, seq++, next});
+    }
+    for (std::size_t w : nd.waiting) pq.push({end, kAbsorbTry, seq++, w});
+    nd.waiting.clear();
   }
 
   return results;

@@ -9,6 +9,10 @@
 ///
 /// Model:
 ///  * a single metadata server serializes file creates (`mds_latency` each);
+///    requests are serviced in submit-time order, with submit-time ties
+///    broken deterministically by (client, file) — so staged drain replays
+///    are reproducible no matter which engine (or request-list order)
+///    produced them;
 ///  * each file is striped over `stripe_count` object storage targets (OSTs)
 ///    selected by file-name hash;
 ///  * writes are split into `stripe_size` chunks issued round-robin over the
@@ -17,12 +21,43 @@
 ///    throughput at `client_bandwidth`;
 ///  * optional lognormal service-time noise (`variability_sigma`), seeded —
 ///    the same seed always replays the same timeline.
+///
+/// Burst-buffer tier (the staging subsystem's "dynamic" half): when
+/// `SimFsConfig::bb.enabled` is set, requests tagged `tier ==
+/// kTierBurstBuffer` are *absorbed* into their node's staging area at
+/// burst-buffer bandwidth (the writer perceives completion at absorb end —
+/// `IoResult::end`), and the absorbed bytes are then *drained* asynchronously
+/// onto the OST layer by up to `drain_concurrency` streams per node
+/// (`IoResult::pfs_end` is when the bytes are durable on the PFS). A bounded
+/// per-node `capacity` makes absorbs stall until earlier drains free space —
+/// the classic BB-capacity-induced perceived-bandwidth collapse.
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
 namespace amrio::pfs {
+
+/// Request/result tier tags.
+inline constexpr int kTierPfs = 0;
+inline constexpr int kTierBurstBuffer = 1;
+
+/// Burst-buffer staging tier configuration (per-node semantics). Disabled by
+/// default: tier tags on requests are then ignored and everything goes
+/// straight at the OST layer.
+struct TierConfig {
+  bool enabled = false;
+  int nodes = 1;  ///< staging areas; node of client c = (c / ranks_per_node) % nodes
+  /// Consecutive clients per node (jsrun-style contiguous packing). 1 makes
+  /// node assignment cycle client-by-client.
+  int ranks_per_node = 1;
+  /// bytes/sec absorb rate per node. Node-local (NVMe-style): absorbs are
+  /// *not* capped by the client NIC — that cap applies on the way to the PFS.
+  double write_bandwidth = 10.0e9;
+  double drain_bandwidth = 2.0e9;   ///< bytes/sec per drain stream (to OSTs)
+  std::uint64_t capacity = 0;       ///< bytes per node staging area; 0 = unbounded
+  int drain_concurrency = 2;        ///< concurrent drain streams per node
+};
 
 struct SimFsConfig {
   int n_ost = 8;
@@ -33,6 +68,7 @@ struct SimFsConfig {
   double mds_latency = 5.0e-4;      ///< seconds per file create, serialized
   double variability_sigma = 0.0;   ///< lognormal sigma on chunk service time
   std::uint64_t seed = 0x5eed;
+  TierConfig bb;                    ///< optional burst-buffer staging tier
 };
 
 struct IoRequest {
@@ -40,16 +76,24 @@ struct IoRequest {
   double submit_time = 0.0;
   std::string file;
   std::uint64_t bytes = 0;
+  /// kTierPfs (direct) or kTierBurstBuffer (absorb + async drain). The tag is
+  /// a request attribute: a SimFs without an enabled BB tier serves tagged
+  /// requests directly, so one tagged workload replays against both setups.
+  int tier = kTierPfs;
 };
 
 struct IoResult {
   double open_start = 0.0;  ///< when the MDS began servicing the create
   double open_end = 0.0;    ///< create done; first data chunk may be issued
-  double end = 0.0;         ///< last chunk committed
+  double end = 0.0;         ///< perceived completion (absorb end on the BB tier)
+  /// When the bytes are durable on the PFS tier: drain completion for staged
+  /// requests, == end for direct ones. Sustained-bandwidth studies use this.
+  double pfs_end = 0.0;
   int first_ost = 0;        ///< first OST of the stripe set
+  int tier = kTierPfs;      ///< tier the request was actually served on
   std::uint64_t bytes = 0;
   double duration() const { return end - open_start; }
-  /// Effective bandwidth seen by this request (bytes/sec).
+  /// Effective (perceived) bandwidth seen by this request (bytes/sec).
   double bandwidth() const {
     const double d = duration();
     return d > 0 ? static_cast<double>(bytes) / d : 0.0;
@@ -61,11 +105,17 @@ class SimFs {
   explicit SimFs(SimFsConfig cfg);
 
   /// Simulate the batch; result[i] corresponds to request[i]. The simulation
-  /// is deterministic for a given config (including seed) and request list.
+  /// is deterministic for a given config (including seed) and request *set*:
+  /// submit-time ties are served in (client, file) order regardless of the
+  /// order requests appear in the list.
   std::vector<IoResult> run(const std::vector<IoRequest>& requests);
 
   /// First OST index for a file (stable hash), exposed for tests.
   int ost_of(const std::string& file) const;
+
+  /// Staging node of a client ((client / bb.ranks_per_node) % bb.nodes),
+  /// exposed for tests.
+  int node_of(int client) const;
 
   const SimFsConfig& config() const { return cfg_; }
 

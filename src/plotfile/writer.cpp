@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "plotfile/fab_io.hpp"
+#include "staging/aggregator.hpp"
 #include "util/assert.hpp"
 #include "util/format.hpp"
 
@@ -35,12 +36,44 @@ struct LevelPlan {
   std::vector<FabRef> fabs;                   // indexed by box index
   std::map<int, std::vector<std::size_t>> rank_boxes;  // rank -> box indices
   std::map<int, std::uint64_t> rank_bytes;    // Cell_D payload per rank
+  /// Aggregated MIF only: group -> total Cell_D bytes (groups with data).
+  std::map<int, std::uint64_t> group_bytes;
 };
 
+/// Effective aggregation group count for a level (never more than its ranks).
+int level_groups(int aggregators, int level_ranks) {
+  return std::min(aggregators, level_ranks);
+}
+
 LevelPlan plan_level(const mesh::BoxArray& ba, const mesh::DistributionMapping& dm,
-                     int ncomp) {
+                     int ncomp, int aggregators) {
   LevelPlan plan;
   plan.fabs.resize(ba.size());
+  if (aggregators > 0) {
+    // Aggregated MIF: one Cell_D file per aggregation group, holding member
+    // fabs in rank order; the per-rank subtotals still drive the gather
+    // cross-check in the write path.
+    const auto topo = staging::AggTopology::make(
+        dm.nranks(), level_groups(aggregators, dm.nranks()));
+    for (int g = 0; g < topo.ngroups(); ++g) {
+      const std::string file =
+          "Cell_D_" + util::zero_pad(static_cast<std::uint64_t>(g), 5);
+      std::uint64_t offset = 0;
+      for (int rank : topo.members_of(g)) {
+        auto boxes = dm.boxes_of(rank);
+        if (boxes.empty()) continue;
+        const std::uint64_t rank_start = offset;
+        for (std::size_t bi : boxes) {
+          plan.fabs[bi] = FabRef{bi, file, offset};
+          offset += fab_disk_size(ba[bi], ncomp);
+        }
+        plan.rank_boxes[rank] = std::move(boxes);
+        plan.rank_bytes[rank] = offset - rank_start;
+      }
+      if (offset > 0) plan.group_bytes[g] = offset;
+    }
+    return plan;
+  }
   for (int rank = 0; rank < dm.nranks(); ++rank) {
     auto boxes = dm.boxes_of(rank);
     if (boxes.empty()) continue;  // no file for this task at this level
@@ -143,6 +176,8 @@ WriteStats predict_impl(const PlotfileSpec& spec,
                         iostats::TraceRecorder* trace, bool checkpoint) {
   AMRIO_EXPECTS(!layouts.empty());
   AMRIO_EXPECTS(ncomp >= 1);
+  AMRIO_EXPECTS_MSG(spec.aggregators >= 0,
+                    "plotfile: spec.aggregators must be >= 0");
 
   WriteStats stats;
   stats.rank_level_bytes.assign(layouts.size(), {});
@@ -152,17 +187,37 @@ WriteStats predict_impl(const PlotfileSpec& spec,
     const auto& layout = layouts[l];
     const int nranks = layout.dm.nranks();
     stats.rank_level_bytes[l].assign(static_cast<std::size_t>(nranks), 0);
-    const LevelPlan plan = plan_level(layout.ba, layout.dm, ncomp);
+    const LevelPlan plan = plan_level(layout.ba, layout.dm, ncomp,
+                                      spec.aggregators);
     const std::string level_dir = spec.dir + "/Level_" + std::to_string(l);
 
     for (const auto& [rank, boxes] : plan.rank_boxes) {
-      const std::string path = level_dir + "/" + plan.fabs[boxes.front()].file;
+      (void)boxes;
       const std::uint64_t written = plan.rank_bytes.at(rank);
       stats.rank_level_bytes[l][static_cast<std::size_t>(rank)] = written;
       stats.data_bytes += written;
-      ++stats.nfiles;
-      if (trace != nullptr)
-        trace->record_write(spec.step, static_cast<int>(l), rank, path, written);
+    }
+    if (spec.aggregators > 0) {
+      const auto topo = staging::AggTopology::make(
+          nranks, level_groups(spec.aggregators, nranks));
+      for (const auto& [g, bytes] : plan.group_bytes) {
+        const std::string path =
+            level_dir + "/Cell_D_" +
+            util::zero_pad(static_cast<std::uint64_t>(g), 5);
+        ++stats.nfiles;
+        if (trace != nullptr)
+          trace->record_staged_write(spec.step, static_cast<int>(l),
+                                     topo.aggregator_of_group(g), path, bytes,
+                                     /*tier=*/0, g);
+      }
+    } else {
+      for (const auto& [rank, boxes] : plan.rank_boxes) {
+        const std::string path = level_dir + "/" + plan.fabs[boxes.front()].file;
+        ++stats.nfiles;
+        if (trace != nullptr)
+          trace->record_write(spec.step, static_cast<int>(l), rank, path,
+                              plan.rank_bytes.at(rank));
+      }
     }
 
     const std::string cell_h = cell_h_text(
@@ -212,6 +267,8 @@ WriteStats write_plotfile_rank(exec::RankCtx& ctx, pfs::StorageBackend& backend,
                                int ncomp, iostats::TraceRecorder* trace,
                                bool checkpoint) {
   const int rank = ctx.rank();
+  AMRIO_EXPECTS_MSG(spec.aggregators >= 0,
+                    "plotfile: spec.aggregators must be >= 0");
   for (const auto& lay : layouts)
     AMRIO_EXPECTS_MSG(lay.dm.nranks() <= ctx.nranks(),
                       "write_plotfile: DM ranks " << lay.dm.nranks()
@@ -226,10 +283,15 @@ WriteStats write_plotfile_rank(exec::RankCtx& ctx, pfs::StorageBackend& backend,
   if (rank == 0) {
     plans.reserve(layouts.size());
     for (const auto& layout : layouts)
-      plans.push_back(plan_level(layout.ba, layout.dm, ncomp));
+      plans.push_back(plan_level(layout.ba, layout.dm, ncomp,
+                                 spec.aggregators));
   }
+  constexpr int kShipTag = 74;
 
-  // Phase 1: every rank writes its own Cell_D files, concurrently.
+  // Phase 1: Cell_D data. Classic MIF: every rank writes its own file,
+  // concurrently. Aggregated MIF: members serialize their fabs into memory
+  // and ship them to their group's aggregator, which writes the one
+  // Cell_D_<group> file — only aggregators open files.
   for (std::size_t l = 0; l < layouts.size(); ++l) {
     const auto& layout = layouts[l];
     const int level_ranks = layout.dm.nranks();
@@ -238,7 +300,37 @@ WriteStats write_plotfile_rank(exec::RankCtx& ctx, pfs::StorageBackend& backend,
                               ? layout.dm.boxes_of(rank)
                               : std::vector<std::size_t>{};
     std::uint64_t written = 0;
-    if (!my_boxes.empty()) {
+    std::uint64_t my_files = 0;
+    if (spec.aggregators > 0) {
+      if (rank < level_ranks) {
+        const auto topo = staging::AggTopology::make(
+            level_ranks, level_groups(spec.aggregators, level_ranks));
+        const int group = topo.group_of(rank);
+        const int agg = topo.aggregator_of_group(group);
+        std::vector<std::byte> payload;
+        const auto& mf = *levels[l].data;
+        for (std::size_t bi : my_boxes)
+          written += write_fab(payload, mf.fab(bi), mf.valid_box(bi));
+        const auto payloads = exec::gatherv_group(
+            ctx, payload, topo.members_of(group), agg, kShipTag);
+        if (rank == agg) {
+          std::uint64_t group_total = 0;
+          for (const auto& pl : payloads) group_total += pl.size();
+          if (group_total > 0) {
+            const std::string path =
+                spec.dir + "/Level_" + std::to_string(l) + "/Cell_D_" +
+                util::zero_pad(static_cast<std::uint64_t>(group), 5);
+            pfs::OutFile out(backend, path);
+            for (const auto& pl : payloads) out.write(pl);
+            out.close();  // surface flush errors
+            ++my_files;
+            if (trace != nullptr)
+              trace->record_staged_write(spec.step, static_cast<int>(l), rank,
+                                         path, group_total, /*tier=*/0, group);
+          }
+        }
+      }
+    } else if (!my_boxes.empty()) {
       const std::string path =
           spec.dir + "/Level_" + std::to_string(l) + "/Cell_D_" +
           util::zero_pad(static_cast<std::uint64_t>(rank), 5);
@@ -247,6 +339,7 @@ WriteStats write_plotfile_rank(exec::RankCtx& ctx, pfs::StorageBackend& backend,
       for (std::size_t bi : my_boxes)
         written += write_fab(out, mf.fab(bi), mf.valid_box(bi));
       out.close();  // surface flush errors (destructor closes quietly)
+      ++my_files;
       if (trace != nullptr)
         trace->record_write(spec.step, static_cast<int>(l), rank, path, written);
     }
@@ -265,11 +358,12 @@ WriteStats write_plotfile_rank(exec::RankCtx& ctx, pfs::StorageBackend& backend,
         AMRIO_ENSURES(stats.rank_level_bytes[l][static_cast<std::size_t>(r)] ==
                       bytes);
       }
-      stats.nfiles += plan.rank_boxes.size();
+      stats.nfiles += spec.aggregators > 0 ? plan.group_bytes.size()
+                                           : plan.rank_boxes.size();
     } else if (rank < level_ranks) {
       stats.rank_level_bytes[l][static_cast<std::size_t>(rank)] = written;
       stats.data_bytes += written;
-      if (written > 0) ++stats.nfiles;
+      stats.nfiles += my_files;
     }
   }
   ctx.barrier();

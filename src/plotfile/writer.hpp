@@ -55,6 +55,13 @@ struct PlotfileSpec {
   std::int64_t step = 0;
   int ref_ratio = 2;
   std::string job_info;  ///< free text stored in the job_info file
+  /// Aggregated MIF: partition each level's ranks into this many groups
+  /// (staging::AggTopology); members ship their FAB payloads to the group's
+  /// aggregator, which writes one `Cell_D_<group>` file holding the group's
+  /// fabs in rank order (offsets in Cell_H point into it). 0 = classic
+  /// one-file-per-owning-rank. Levels with fewer ranks than groups fall back
+  /// to one group per rank. `predict_plotfile` honors the same setting.
+  int aggregators = 0;
 };
 
 struct WriteStats {

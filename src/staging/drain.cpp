@@ -1,0 +1,40 @@
+#include "staging/drain.hpp"
+
+#include <algorithm>
+
+namespace amrio::staging {
+
+StagingReport staging_report(const std::vector<pfs::IoResult>& results) {
+  StagingReport rep;
+  if (results.empty()) return rep;
+
+  rep.perceived = pfs::burst_stats(results);
+
+  // Sustained view: the same batch with end pushed out to drain completion.
+  std::vector<pfs::IoResult> durable = results;
+  for (auto& r : durable) r.end = r.pfs_end;
+  rep.sustained = pfs::burst_stats(durable);
+
+  double last_perceived = results.front().end;
+  double last_durable = results.front().pfs_end;
+  for (const auto& r : results) {
+    last_perceived = std::max(last_perceived, r.end);
+    last_durable = std::max(last_durable, r.pfs_end);
+    if (r.tier == pfs::kTierBurstBuffer)
+      rep.staged_bytes += r.bytes;
+    else
+      rep.direct_bytes += r.bytes;
+  }
+  rep.drain_tail = last_durable - last_perceived;
+  rep.perceived_bandwidth = rep.perceived.makespan > 0
+                                ? static_cast<double>(rep.perceived.total_bytes) /
+                                      rep.perceived.makespan
+                                : 0.0;
+  rep.sustained_bandwidth = rep.sustained.makespan > 0
+                                ? static_cast<double>(rep.sustained.total_bytes) /
+                                      rep.sustained.makespan
+                                : 0.0;
+  return rep;
+}
+
+}  // namespace amrio::staging

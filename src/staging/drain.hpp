@@ -1,0 +1,38 @@
+#pragma once
+/// \file drain.hpp
+/// Analysis of two-tier SimFs timelines: what the application *perceived*
+/// (absorb completion on the burst-buffer tier) versus what the PFS
+/// *sustained* (drain completion), how far the asynchronous drain tail
+/// stretches past the last perceived write, and how much of the drain
+/// overlapped compute windows instead of blocking the dump path.
+
+#include <cstdint>
+#include <vector>
+
+#include "pfs/simfs.hpp"
+#include "pfs/timeline.hpp"
+
+namespace amrio::staging {
+
+struct StagingReport {
+  /// Burst metrics over [open_start, end): the application's view.
+  pfs::BurstStats perceived;
+  /// Burst metrics over [open_start, pfs_end): what the PFS actually served.
+  pfs::BurstStats sustained;
+  /// Seconds the asynchronous drain ran past the last perceived completion —
+  /// the work hidden behind subsequent compute windows.
+  double drain_tail = 0.0;
+  /// total bytes / perceived makespan (what the job log would report).
+  double perceived_bandwidth = 0.0;
+  /// total bytes / sustained makespan (what the filesystem really delivered).
+  double sustained_bandwidth = 0.0;
+  std::uint64_t staged_bytes = 0;  ///< bytes served on the BB tier
+  std::uint64_t direct_bytes = 0;  ///< bytes served directly on the PFS tier
+};
+
+/// Summarize a SimFs result batch (perceived vs sustained). Works on single
+/// -tier results too: every request then has end == pfs_end and the two views
+/// coincide (drain_tail == 0).
+StagingReport staging_report(const std::vector<pfs::IoResult>& results);
+
+}  // namespace amrio::staging

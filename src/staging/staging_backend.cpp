@@ -1,0 +1,141 @@
+#include "staging/staging_backend.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace amrio::staging {
+
+StagingBackend::StagingBackend(pfs::StorageBackend& final_store,
+                               bool store_contents)
+    : final_(&final_store),
+      store_contents_(store_contents),
+      stage_(std::make_unique<pfs::MemoryBackend>(store_contents)) {}
+
+pfs::FileHandle StagingBackend::create(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mode_mu_);
+    append_continuation_[path] = false;  // truncate: replaces any final copy
+  }
+  return stage_->create(path);
+}
+
+pfs::FileHandle StagingBackend::open_append(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mode_mu_);
+    auto [it, inserted] = append_continuation_.try_emplace(path, false);
+    if (inserted) {
+      // First staged sight of this path: if the final store already holds it,
+      // the staged bytes continue that file and must drain as an append.
+      it->second = final_->exists(path);
+    }
+  }
+  return stage_->open_append(path);
+}
+
+void StagingBackend::write(pfs::FileHandle handle,
+                           std::span<const std::byte> data) {
+  stage_->write(handle, data);
+}
+
+void StagingBackend::close(pfs::FileHandle handle) { stage_->close(handle); }
+
+bool StagingBackend::exists(const std::string& path) const {
+  return stage_->exists(path) || final_->exists(path);
+}
+
+bool StagingBackend::continues_final(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mode_mu_);
+  const auto it = append_continuation_.find(path);
+  return it != append_continuation_.end() && it->second;
+}
+
+std::uint64_t StagingBackend::size(const std::string& path) const {
+  if (!stage_->exists(path)) return final_->size(path);
+  // An append continuation extends the drained copy: the transparent view is
+  // final prefix + staged suffix.
+  std::uint64_t total = stage_->size(path);
+  if (continues_final(path)) total += final_->size(path);
+  return total;
+}
+
+std::vector<std::string> StagingBackend::list(const std::string& prefix) const {
+  std::vector<std::string> merged = stage_->list(prefix);
+  const std::vector<std::string> below = final_->list(prefix);
+  merged.insert(merged.end(), below.begin(), below.end());
+  std::sort(merged.begin(), merged.end());
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  return merged;
+}
+
+std::vector<std::byte> StagingBackend::read(const std::string& path) const {
+  if (!stage_->exists(path)) return final_->read(path);
+  if (!continues_final(path)) return stage_->read(path);
+  std::vector<std::byte> out = final_->read(path);
+  const std::vector<std::byte> suffix = stage_->read(path);
+  out.insert(out.end(), suffix.begin(), suffix.end());
+  return out;
+}
+
+std::uint64_t StagingBackend::pending_bytes() const {
+  return stage_->total_bytes();
+}
+
+std::uint64_t StagingBackend::pending_files() const {
+  return stage_->file_count();
+}
+
+std::vector<std::string> StagingBackend::pending() const {
+  return stage_->list("");
+}
+
+std::vector<StagingBackend::DrainRecord> StagingBackend::drain_all() {
+  std::vector<DrainRecord> drained;
+  const auto paths = stage_->list("");  // sorted: deterministic replay order
+  drained.reserve(paths.size());
+  for (const auto& path : paths) {
+    const std::uint64_t bytes = stage_->size(path);
+    bool append = false;
+    {
+      std::lock_guard<std::mutex> lock(mode_mu_);
+      const auto it = append_continuation_.find(path);
+      append = it != append_continuation_.end() && it->second;
+    }
+    pfs::OutFile out(*final_, path,
+                     append ? pfs::OpenMode::kAppend : pfs::OpenMode::kTruncate);
+    if (store_contents_) {
+      out.write(stage_->read(path));
+    } else {
+      // accounting mode: replay the exact size as zero bytes
+      static const std::vector<std::byte> kZeros(1 << 16);
+      std::uint64_t remaining = bytes;
+      while (remaining > 0) {
+        const std::size_t chunk = static_cast<std::size_t>(
+            std::min<std::uint64_t>(remaining, kZeros.size()));
+        out.write(std::span<const std::byte>(kZeros.data(), chunk));
+        remaining -= chunk;
+      }
+    }
+    out.close();
+    AMRIO_ENSURES(out.bytes_written() == bytes);
+    drained.push_back(DrainRecord{path, bytes});
+  }
+  stage_ = std::make_unique<pfs::MemoryBackend>(store_contents_);
+  {
+    std::lock_guard<std::mutex> lock(mode_mu_);
+    append_continuation_.clear();
+  }
+  return drained;
+}
+
+std::vector<pfs::IoRequest> StagingBackend::drain_requests(double clock,
+                                                           int client) const {
+  std::vector<pfs::IoRequest> reqs;
+  for (const auto& path : stage_->list("")) {
+    reqs.push_back(pfs::IoRequest{client, clock, path, stage_->size(path),
+                                  pfs::kTierBurstBuffer});
+  }
+  return reqs;
+}
+
+}  // namespace amrio::staging

@@ -1,0 +1,90 @@
+#pragma once
+/// \file staging_backend.hpp
+/// Burst-buffer byte path: a `pfs::StorageBackend` decorator that absorbs all
+/// writes into a node-local staging area (an in-memory backend) and drains
+/// them into the final store on request. Writers see their files complete as
+/// soon as the staging area has them; `drain_all()` replays the staged files
+/// into the final backend byte-exactly and frees the staging area — the byte
+/// half of the staging subsystem (the *time* half is `pfs::SimFs`'s BB tier,
+/// driven by tier-tagged `pfs::IoRequest`s).
+///
+/// Append correctness across drains: a file created through the decorator is
+/// replayed with create/truncate semantics; a file opened for append that
+/// the staging area has never seen but the final store already holds is
+/// replayed with append semantics, so "write a dump, drain, append to it
+/// next dump, drain again" yields exactly the bytes a direct backend would
+/// hold.
+///
+/// With `store_contents = false` the staging area keeps only byte counts
+/// (accounting mode): drains then replay zero bytes of the recorded size into
+/// the final store — sizes and file sets are exact, contents are not retained
+/// (use store mode when byte-level content matters).
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pfs/backend.hpp"
+#include "pfs/simfs.hpp"
+
+namespace amrio::staging {
+
+class StagingBackend final : public pfs::StorageBackend {
+ public:
+  explicit StagingBackend(pfs::StorageBackend& final_store,
+                          bool store_contents = true);
+
+  // Write path: absorbed by the staging area.
+  pfs::FileHandle create(const std::string& path) override;
+  pfs::FileHandle open_append(const std::string& path) override;
+  void write(pfs::FileHandle handle, std::span<const std::byte> data) override;
+  void close(pfs::FileHandle handle) override;
+
+  // Read path: transparent view — staged files win; a staged append
+  // continuation composes with the drained prefix in the final store
+  // (size/read report final prefix + staged suffix).
+  bool exists(const std::string& path) const override;
+  std::uint64_t size(const std::string& path) const override;
+  std::vector<std::string> list(const std::string& prefix) const override;
+  std::vector<std::byte> read(const std::string& path) const override;
+
+  /// Staged-but-not-yet-drained accounting.
+  std::uint64_t pending_bytes() const;
+  std::uint64_t pending_files() const;
+  /// Paths currently staged, sorted.
+  std::vector<std::string> pending() const;
+
+  struct DrainRecord {
+    std::string path;
+    std::uint64_t bytes = 0;
+  };
+
+  /// Replay every staged file into the final store (sorted path order,
+  /// byte-exact in store mode) and free the staging area. Returns one record
+  /// per drained file.
+  std::vector<DrainRecord> drain_all();
+
+  /// Tier-tagged SimFs requests for everything currently pending: one request
+  /// per staged file, submitted at `clock`, attributed to `client`. Feed them
+  /// to a `pfs::SimFs` with an enabled BB tier to time the drain.
+  std::vector<pfs::IoRequest> drain_requests(double clock, int client) const;
+
+  pfs::StorageBackend& final_store() { return *final_; }
+  bool stores_contents() const { return store_contents_; }
+
+ private:
+  bool continues_final(const std::string& path) const;
+
+  pfs::StorageBackend* final_;
+  bool store_contents_;
+  std::unique_ptr<pfs::MemoryBackend> stage_;
+  /// Staged files that continue a file already present in the final store
+  /// (drain must append rather than truncate).
+  mutable std::mutex mode_mu_;
+  std::map<std::string, bool> append_continuation_;
+};
+
+}  // namespace amrio::staging
