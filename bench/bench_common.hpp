@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "pfs/simfs.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/format.hpp"
@@ -56,6 +57,24 @@ inline BenchContext parse_bench_args(int argc, char** argv,
 
 inline std::string csv_path(const BenchContext& ctx, const std::string& name) {
   return util::path_join(ctx.out_dir, name);
+}
+
+/// Reference PFS + burst-buffer model shared by the staging and codec
+/// extension studies — one definition so their CSVs stay cross-comparable.
+inline pfs::SimFsConfig study_fs_config(int ranks, bool burst_buffer) {
+  pfs::SimFsConfig cfg;
+  cfg.n_ost = 32;
+  cfg.ost_bandwidth = 0.8e9;
+  cfg.client_bandwidth = 1.2e9;
+  cfg.mds_latency = 5.0e-4;
+  cfg.seed = 1234;
+  cfg.bb.enabled = burst_buffer;
+  cfg.bb.nodes = ranks / 16 > 1 ? ranks / 16 : 1;
+  cfg.bb.ranks_per_node = 16;
+  cfg.bb.write_bandwidth = 8.0e9;
+  cfg.bb.drain_bandwidth = 1.5e9;
+  cfg.bb.drain_concurrency = 2;
+  return cfg;
 }
 
 inline void banner(const std::string& title, const std::string& paper_ref) {

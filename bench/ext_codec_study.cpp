@@ -1,0 +1,174 @@
+/// Extension: codec-stage study. Sweeps the in-situ compression models
+/// {identity, lossless, ebl at three error bounds} across the staging
+/// configurations {direct, two-phase aggregation, burst-buffer} and rank
+/// counts, and maps the makespan/bytes frontier: compression always shrinks
+/// the bytes on the wire/tier, but it only wins wall-clock when the saved
+/// transfer time exceeds the modeled encode cpu — an AMRIC-style trade the
+/// calibrated proxy can now explore without a single real compressor run.
+///
+/// Shape checks (encoded <= raw everywhere; ebl beats identity somewhere and
+/// loses somewhere — a non-trivial crossover) make the bench self-verifying.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "exec/engine.hpp"
+#include "macsio/driver.hpp"
+#include "pfs/backend.hpp"
+#include "pfs/simfs.hpp"
+#include "staging/drain.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct Mode {
+  const char* name;
+  bool aggregate;
+  bool burst_buffer;
+};
+
+struct CodecPoint {
+  const char* label;
+  const char* codec;
+  double error_bound;  // ebl only
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace amrio;
+  const auto ctx = bench::parse_bench_args(
+      argc, argv, "ext_codec_study",
+      "extension: in-situ compression across the staging/PFS pipeline");
+  bench::banner("Extension — codec stage (compression x staging x ranks)",
+                "AMRIC-style in-situ compression on the paper's proxy model");
+
+  const std::vector<int> rank_counts =
+      ctx.full ? std::vector<int>{16, 64, 128} : std::vector<int>{16, 64};
+  constexpr int kAggFactor = 8;
+  // A deliberately modest encode throughput: at small scale the NIC-bound
+  // transfer is already cheaper than the encode cpu (identity wins), while
+  // on the contended OST path at higher rank counts the byte savings
+  // dominate (ebl wins) — the crossover this study exists to expose.
+  constexpr double kCodecThroughput = 0.25e9;
+
+  const Mode modes[] = {{"direct", false, false},
+                        {"agg", true, false},
+                        {"bb", false, true}};
+  const CodecPoint codecs[] = {{"identity", "identity", 0.0},
+                               {"lossless", "lossless", 0.0},
+                               {"ebl@1e-2", "ebl", 1e-2},
+                               {"ebl@1e-4", "ebl", 1e-4},
+                               {"ebl@1e-6", "ebl", 1e-6}};
+
+  util::TextTable table({"ranks", "mode", "codec", "raw", "encoded", "ratio",
+                         "codec cpu", "perceived mkspn", "sustained mkspn"});
+  util::CsvWriter csv(bench::csv_path(ctx, "ext_codec_study.csv"));
+  csv.header({"ranks", "mode", "codec", "error_bound", "raw_bytes",
+              "encoded_bytes", "ratio", "codec_cpu_s", "perceived_makespan",
+              "sustained_makespan", "perceived_bw", "sustained_bw"});
+
+  bool ok = true;
+  bool ebl_wins_somewhere = false;
+  bool identity_wins_somewhere = false;
+  for (int ranks : rank_counts) {
+    for (const Mode& mode : modes) {
+      std::map<std::string, double> makespan;  // codec label -> perceived
+      for (const CodecPoint& point : codecs) {
+        macsio::Params params;
+        params.nprocs = ranks;
+        params.num_dumps = 4;
+        params.part_size = 1 << 23;  // 8 MiB/task/dump: a real burst
+        params.avg_num_parts = 1.0;
+        // back-to-back dumps: the makespan is pure I/O + codec cpu, so the
+        // compression trade is not diluted by compute windows
+        params.compute_time = 0.0;
+        params.dataset_growth = 1.02;
+        params.aggregators = mode.aggregate ? ranks / kAggFactor : 0;
+        params.stage_to_bb = mode.burst_buffer;
+        params.codec = point.codec;
+        if (point.error_bound > 0) params.codec_error_bound = point.error_bound;
+        params.codec_throughput = kCodecThroughput;
+
+        pfs::MemoryBackend backend(false);
+        exec::SerialEngine engine(params.nprocs);
+        const auto stats = macsio::run_macsio(engine, params, backend);
+
+        std::uint64_t encoded_bytes = 0;  // what travels/lands (data files)
+        for (const auto& req : stats.requests) {
+          if (req.file.find("/data/") == std::string::npos) continue;
+          encoded_bytes += req.bytes;
+        }
+        const std::uint64_t raw_bytes = stats.codec.total.raw_bytes;
+        if (stats.codec.total.encoded_bytes > raw_bytes) {
+          std::printf("MISMATCH: %d ranks %s %s: encoded > raw\n", ranks,
+                      mode.name, point.label);
+          ok = false;
+        }
+        if (encoded_bytes > raw_bytes) {
+          std::printf("MISMATCH: %d ranks %s %s: request bytes exceed raw\n",
+                      ranks, mode.name, point.label);
+          ok = false;
+        }
+
+        pfs::SimFs fs(bench::study_fs_config(ranks, mode.burst_buffer));
+        const auto report = staging::staging_report(fs.run(stats.requests));
+        makespan[point.label] = report.perceived.makespan;
+
+        table.add_row(
+            {std::to_string(ranks), mode.name, point.label,
+             util::human_bytes(raw_bytes), util::human_bytes(encoded_bytes),
+             util::format_g(stats.codec.total.ratio(), 3),
+             util::format_g(stats.codec.total.cpu_seconds, 3) + "s",
+             util::format_g(report.perceived.makespan, 4) + "s",
+             util::format_g(report.sustained.makespan, 4) + "s"});
+        csv.field(static_cast<std::int64_t>(ranks))
+            .field(std::string(mode.name))
+            .field(std::string(point.codec))
+            .field(point.error_bound)
+            .field(static_cast<std::int64_t>(raw_bytes))
+            .field(static_cast<std::int64_t>(encoded_bytes))
+            .field(stats.codec.total.ratio())
+            .field(stats.codec.total.cpu_seconds)
+            .field(report.perceived.makespan)
+            .field(report.sustained.makespan)
+            .field(report.perceived_bandwidth)
+            .field(report.sustained_bandwidth);
+        csv.endrow();
+      }
+      // frontier: does some ebl point beat identity here, or lose to it?
+      for (const CodecPoint& point : codecs) {
+        if (std::string(point.codec) != "ebl") continue;
+        if (makespan[point.label] < 0.98 * makespan["identity"])
+          ebl_wins_somewhere = true;
+        if (makespan[point.label] > 1.02 * makespan["identity"])
+          identity_wins_somewhere = true;
+      }
+    }
+  }
+  if (!ebl_wins_somewhere) {
+    std::printf("MISMATCH: ebl never beats identity — no frontier\n");
+    ok = false;
+  }
+  if (!identity_wins_somewhere) {
+    std::printf("MISMATCH: identity never beats ebl — compression looks free\n");
+    ok = false;
+  }
+
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "\nreading: the codec always shrinks the bytes that travel (encoded <=\n"
+      "raw), but only wins the makespan where the saved transfer time beats\n"
+      "the encode cpu: at small scale the NIC-bound transfer is already\n"
+      "cheap and identity stays in front, while the contended OST path at\n"
+      "higher rank counts pays seconds per dump and ebl pulls ahead — the\n"
+      "frontier AMRIC navigates per dump.\n");
+  std::printf("shape checks (encoded <= raw, ebl/identity crossover): %s\n",
+              ok ? "OK" : "MISMATCH");
+  std::printf("csv: %s\n", csv.path().c_str());
+  return ok ? 0 : 1;
+}

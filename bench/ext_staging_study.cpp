@@ -6,16 +6,27 @@
 /// sustained bandwidth by overlapping the drain with compute windows —
 /// the Hercule/ADIOS2-style behaviours the paper's §V positions the
 /// calibrated proxy to explore.
+///
+/// The agg+bb configuration additionally sweeps aggregator *placement*
+/// (SimFs::node_of × AggTopology): "spread" keeps each aggregator on its
+/// group's node (contiguous jsrun packing), "clustered" pins every
+/// aggregator onto the first burst-buffer node — the absorbs then serialize
+/// on one node's staging bandwidth, collapsing perceived bandwidth even
+/// though the bytes and file counts are identical.
 
 #include <cstdio>
 #include <string>
 #include <vector>
+
+#include <algorithm>
+#include <set>
 
 #include "bench_common.hpp"
 #include "exec/engine.hpp"
 #include "macsio/driver.hpp"
 #include "pfs/backend.hpp"
 #include "pfs/simfs.hpp"
+#include "staging/aggregator.hpp"
 #include "staging/drain.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
@@ -27,6 +38,30 @@ struct Config {
   bool aggregate;
   bool burst_buffer;
 };
+
+/// Remap the data-request clients so every aggregator lands on the first
+/// burst-buffer node: aggregator of group g becomes client g, and with
+/// ngroups <= ranks_per_node SimFs::node_of maps them all to node 0.
+std::vector<amrio::pfs::IoRequest> cluster_aggregators(
+    std::vector<amrio::pfs::IoRequest> requests,
+    const amrio::staging::AggTopology& topo) {
+  for (auto& req : requests) {
+    if (req.file.find("_agg_") == std::string::npos) continue;
+    req.client = topo.group_of(req.client);
+  }
+  return requests;
+}
+
+/// Distinct staging nodes the data-file clients map to.
+int data_nodes(const amrio::pfs::SimFs& fs,
+               const std::vector<amrio::pfs::IoRequest>& requests) {
+  std::set<int> nodes;
+  for (const auto& req : requests) {
+    if (req.file.find("/data/") == std::string::npos) continue;
+    nodes.insert(fs.node_of(req.client));
+  }
+  return static_cast<int>(nodes.size());
+}
 
 }  // namespace
 
@@ -42,13 +77,14 @@ int main(int argc, char** argv) {
       ctx.full ? std::vector<int>{16, 64, 128} : std::vector<int>{16, 64};
   constexpr int kAggFactor = 8;  // ranks per aggregation group
 
-  util::TextTable table({"ranks", "config", "data files", "all files",
-                         "perceived mkspn", "sustained mkspn", "perceived BW",
-                         "sustained BW", "drain tail"});
+  util::TextTable table({"ranks", "config", "placement", "agg nodes",
+                         "data files", "all files", "perceived mkspn",
+                         "sustained mkspn", "perceived BW", "sustained BW",
+                         "drain tail"});
   util::CsvWriter csv(bench::csv_path(ctx, "ext_staging_study.csv"));
-  csv.header({"ranks", "config", "data_files", "all_files",
-              "perceived_makespan", "sustained_makespan", "perceived_bw",
-              "sustained_bw", "drain_tail", "data_bytes"});
+  csv.header({"ranks", "config", "placement", "agg_nodes", "data_files",
+              "all_files", "perceived_makespan", "sustained_makespan",
+              "perceived_bw", "sustained_bw", "drain_tail", "data_bytes"});
 
   const Config configs[] = {{"none", false, false},
                             {"agg", true, false},
@@ -82,21 +118,7 @@ int main(int argc, char** argv) {
         data_bytes += req.bytes;
       }
 
-      pfs::SimFsConfig fs_cfg;
-      fs_cfg.n_ost = 32;
-      fs_cfg.ost_bandwidth = 0.8e9;
-      fs_cfg.client_bandwidth = 1.2e9;
-      fs_cfg.mds_latency = 5.0e-4;
-      fs_cfg.seed = 1234;
-      fs_cfg.bb.enabled = config.burst_buffer;
-      fs_cfg.bb.nodes = std::max(1, ranks / 16);
-      fs_cfg.bb.ranks_per_node = 16;
-      fs_cfg.bb.write_bandwidth = 8.0e9;
-      fs_cfg.bb.drain_bandwidth = 1.5e9;
-      fs_cfg.bb.drain_concurrency = 2;
-      pfs::SimFs fs(fs_cfg);
-      const auto results = fs.run(stats.requests);
-      const auto report = staging::staging_report(results);
+      pfs::SimFs fs(bench::study_fs_config(ranks, config.burst_buffer));
 
       if (!config.aggregate) {
         if (baseline_data_files == 0) {
@@ -120,31 +142,70 @@ int main(int argc, char** argv) {
           ok = false;
         }
       }
-      if (report.perceived.makespan <= 0) ok = false;
-      if (config.burst_buffer &&
-          report.perceived.makespan >= report.sustained.makespan)
-        ok = false;
 
-      table.add_row({std::to_string(ranks), config.name,
-                     std::to_string(data_files), std::to_string(stats.nfiles),
-                     util::format_g(report.perceived.makespan, 4) + "s",
-                     util::format_g(report.sustained.makespan, 4) + "s",
-                     util::format_g(report.perceived_bandwidth / 1e9, 3) +
-                         " GB/s",
-                     util::format_g(report.sustained_bandwidth / 1e9, 3) +
-                         " GB/s",
-                     util::format_g(report.drain_tail, 3) + "s"});
-      csv.field(static_cast<std::int64_t>(ranks))
-          .field(std::string(config.name))
-          .field(static_cast<std::int64_t>(data_files))
-          .field(static_cast<std::int64_t>(stats.nfiles))
-          .field(report.perceived.makespan)
-          .field(report.sustained.makespan)
-          .field(report.perceived_bandwidth)
-          .field(report.sustained_bandwidth)
-          .field(report.drain_tail)
-          .field(static_cast<std::int64_t>(data_bytes));
-      csv.endrow();
+      // Aggregator placement matters only when aggregators hit per-node
+      // staging areas: sweep spread vs clustered for agg+bb.
+      const bool sweep_placement = config.aggregate && config.burst_buffer;
+      double spread_makespan = 0.0;
+      for (const char* placement :
+           sweep_placement ? std::vector<const char*>{"spread", "clustered"}
+                           : std::vector<const char*>{"spread"}) {
+        std::vector<pfs::IoRequest> requests = stats.requests;
+        if (std::string(placement) == "clustered") {
+          const auto topo =
+              staging::AggTopology::make(ranks, params.aggregators);
+          requests = cluster_aggregators(std::move(requests), topo);
+        }
+        // only meaningful when aggregators exist; 0 otherwise
+        const int agg_nodes = config.aggregate ? data_nodes(fs, requests) : 0;
+        const auto report = staging::staging_report(fs.run(requests));
+
+        if (report.perceived.makespan <= 0) ok = false;
+        if (config.burst_buffer &&
+            report.perceived.makespan >= report.sustained.makespan)
+          ok = false;
+        if (std::string(placement) == "spread") {
+          spread_makespan = report.perceived.makespan;
+        } else {
+          // one node's absorb bandwidth serves every aggregator: perceived
+          // completion cannot beat the spread placement
+          if (agg_nodes != 1) {
+            std::printf("MISMATCH: %d ranks clustered placement on %d nodes\n",
+                        ranks, agg_nodes);
+            ok = false;
+          }
+          if (report.perceived.makespan < spread_makespan) {
+            std::printf(
+                "MISMATCH: %d ranks: clustered absorbs beat spread placement\n",
+                ranks);
+            ok = false;
+          }
+        }
+
+        table.add_row({std::to_string(ranks), config.name, placement,
+                       std::to_string(agg_nodes), std::to_string(data_files),
+                       std::to_string(stats.nfiles),
+                       util::format_g(report.perceived.makespan, 4) + "s",
+                       util::format_g(report.sustained.makespan, 4) + "s",
+                       util::format_g(report.perceived_bandwidth / 1e9, 3) +
+                           " GB/s",
+                       util::format_g(report.sustained_bandwidth / 1e9, 3) +
+                           " GB/s",
+                       util::format_g(report.drain_tail, 3) + "s"});
+        csv.field(static_cast<std::int64_t>(ranks))
+            .field(std::string(config.name))
+            .field(std::string(placement))
+            .field(static_cast<std::int64_t>(agg_nodes))
+            .field(static_cast<std::int64_t>(data_files))
+            .field(static_cast<std::int64_t>(stats.nfiles))
+            .field(report.perceived.makespan)
+            .field(report.sustained.makespan)
+            .field(report.perceived_bandwidth)
+            .field(report.sustained_bandwidth)
+            .field(report.drain_tail)
+            .field(static_cast<std::int64_t>(data_bytes));
+        csv.endrow();
+      }
     }
   }
 
@@ -154,10 +215,14 @@ int main(int argc, char** argv) {
       "(subfiling relieves the MDS); 'bb' completes dumps at absorb speed and\n"
       "hides the drain tail behind compute windows (perceived < sustained\n"
       "makespan); 'agg+bb' composes both — fewer, larger requests absorb even\n"
-      "faster.\n",
+      "faster. 'clustered' pins every aggregator onto one staging node and\n"
+      "serializes the absorbs there — placement alone moves the perceived\n"
+      "makespan at identical bytes and file counts.\n",
       kAggFactor);
-  std::printf("shape checks (file reduction, byte conservation, bb overlap): %s\n",
-              ok ? "OK" : "MISMATCH");
+  std::printf(
+      "shape checks (file reduction, byte conservation, bb overlap, "
+      "placement): %s\n",
+      ok ? "OK" : "MISMATCH");
   std::printf("csv: %s\n", csv.path().c_str());
   return ok ? 0 : 1;
 }

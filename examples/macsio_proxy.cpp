@@ -39,6 +39,9 @@ int main(int argc, char** argv) {
           "  Table II arguments: --interface --parallel_file_mode --num_dumps\n"
           "  --part_size --avg_num_parts --vars_per_part --compute_time\n"
           "  --meta_size --dataset_growth, plus --nprocs N.\n"
+          "  staging: --aggregators N --agg_link_bw B --staging none|bb\n"
+          "  codec:   --codec identity|lossless|ebl --codec_error_bound E\n"
+          "           --codec_throughput B\n"
           "  extras: --spmd (threaded ranks), --disk (write real files),\n"
           "          --out DIR (disk root)\n");
       return 0;
@@ -81,6 +84,14 @@ int main(int argc, char** argv) {
   std::printf("total %s across %llu files\n",
               util::human_bytes(stats.total_bytes).c_str(),
               static_cast<unsigned long long>(stats.nfiles));
+  if (params.codec_spec().enabled()) {
+    std::printf("codec %s: %s raw -> %s on the wire/tier (%.2fx), "
+                "%.3fs encode cpu\n",
+                params.codec.c_str(),
+                util::human_bytes(stats.codec.total.raw_bytes).c_str(),
+                util::human_bytes(stats.codec.total.encoded_bytes).c_str(),
+                stats.codec.total.ratio(), stats.codec.total.cpu_seconds);
+  }
 
   // burst view of the request stream (compute_time spacing)
   if (params.compute_time > 0) {

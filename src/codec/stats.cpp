@@ -1,0 +1,37 @@
+#include "codec/stats.hpp"
+
+namespace amrio::codec {
+
+void CodecTotals::add(const CompressResult& r) {
+  raw_bytes += r.raw_bytes;
+  encoded_bytes += r.out_bytes;
+  cpu_seconds += r.cpu_seconds;
+  ++chunks;
+}
+
+void CodecTotals::merge(const CodecTotals& other) {
+  raw_bytes += other.raw_bytes;
+  encoded_bytes += other.encoded_bytes;
+  cpu_seconds += other.cpu_seconds;
+  chunks += other.chunks;
+}
+
+double CodecTotals::ratio() const {
+  return encoded_bytes > 0 ? static_cast<double>(raw_bytes) /
+                                 static_cast<double>(encoded_bytes)
+                           : 1.0;
+}
+
+void CodecStats::add(int dump, int level, const CompressResult& r) {
+  total.add(r);
+  by_dump[dump].add(r);
+  by_level[level].add(r);
+}
+
+void CodecStats::merge(const CodecStats& other) {
+  total.merge(other.total);
+  for (const auto& [k, v] : other.by_dump) by_dump[k].merge(v);
+  for (const auto& [k, v] : other.by_level) by_level[k].merge(v);
+}
+
+}  // namespace amrio::codec

@@ -1,0 +1,45 @@
+#pragma once
+/// \file stats.hpp
+/// Codec accounting: raw vs encoded bytes and modeled cpu time, totalled and
+/// broken down per dump (MACSio step) and per AMR level (plotfile) — the
+/// codec-stage analogue of the (step, level, task) slicing the iostats layer
+/// applies to raw output.
+///
+/// Plain value types, not thread-safe: accumulate on rank 0 (drivers) or
+/// under the owner's lock (StagingBackend), merge across sources with
+/// `merge`.
+
+#include <cstdint>
+#include <map>
+
+#include "codec/codec.hpp"
+
+namespace amrio::codec {
+
+struct CodecTotals {
+  std::uint64_t raw_bytes = 0;
+  std::uint64_t encoded_bytes = 0;
+  std::uint64_t chunks = 0;  ///< compression units (task docs, Cell_D chunks)
+  double cpu_seconds = 0.0;
+
+  void add(const CompressResult& r);
+  void merge(const CodecTotals& other);
+  double ratio() const;
+  std::uint64_t saved_bytes() const {
+    return raw_bytes >= encoded_bytes ? raw_bytes - encoded_bytes : 0;
+  }
+};
+
+struct CodecStats {
+  CodecTotals total;
+  /// Keyed by dump/step index; -1 = unattributed (e.g. StagingBackend absorbs
+  /// that carry no dump context).
+  std::map<int, CodecTotals> by_dump;
+  /// Keyed by AMR level; -1 = unattributed (MACSio has no level concept).
+  std::map<int, CodecTotals> by_level;
+
+  void add(int dump, int level, const CompressResult& r);
+  void merge(const CodecStats& other);
+};
+
+}  // namespace amrio::codec

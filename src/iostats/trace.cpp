@@ -30,6 +30,16 @@ void TraceRecorder::record_staged_write(std::int64_t step, int level, int rank,
                                         const std::string& path,
                                         std::uint64_t bytes, int tier,
                                         int aggregator) {
+  record_encoded_write(step, level, rank, path, bytes, /*encoded_bytes=*/0,
+                       /*codec_seconds=*/0.0, tier, aggregator);
+}
+
+void TraceRecorder::record_encoded_write(std::int64_t step, int level, int rank,
+                                         const std::string& path,
+                                         std::uint64_t bytes,
+                                         std::uint64_t encoded_bytes,
+                                         double codec_seconds, int tier,
+                                         int aggregator) {
   IoEvent e;
   e.op = IoEvent::Op::kWrite;
   e.step = step;
@@ -39,6 +49,8 @@ void TraceRecorder::record_staged_write(std::int64_t step, int level, int rank,
   e.aggregator = aggregator;
   e.path = path;
   e.bytes = bytes;
+  e.encoded_bytes = encoded_bytes;
+  e.codec_seconds = codec_seconds;
   record(std::move(e));
 }
 

@@ -38,6 +38,12 @@ struct IoEvent {
   int aggregator = -1;
   std::string path;
   std::uint64_t bytes = 0;
+  /// Codec dimensions: modeled post-codec size of this write (0 = no codec
+  /// stage — `bytes` stays the raw production count either way, so Eq. 1/2
+  /// aggregation is codec-agnostic) and the modeled encode cpu seconds spent
+  /// on the writer's timeline.
+  std::uint64_t encoded_bytes = 0;
+  double codec_seconds = 0.0;
 };
 
 /// Thread-safe append-only event log with per-rank sinks.
@@ -50,6 +56,13 @@ class TraceRecorder {
   void record_staged_write(std::int64_t step, int level, int rank,
                            const std::string& path, std::uint64_t bytes,
                            int tier, int aggregator);
+  /// Codec variant: a write that passed through a codec stage — `bytes` is
+  /// the raw production count, `encoded_bytes` the modeled post-codec size,
+  /// `codec_seconds` the modeled encode cpu.
+  void record_encoded_write(std::int64_t step, int level, int rank,
+                            const std::string& path, std::uint64_t bytes,
+                            std::uint64_t encoded_bytes, double codec_seconds,
+                            int tier, int aggregator);
 
   /// Merged snapshot of all events in stable (step, rank) order; events of
   /// one rank keep their recording order. Deterministic across engines.

@@ -1,10 +1,12 @@
 #include "macsio/driver.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <optional>
 #include <set>
 #include <sstream>
 
+#include "codec/codec.hpp"
 #include "macsio/interfaces.hpp"
 #include "staging/aggregator.hpp"
 #include "util/assert.hpp"
@@ -173,6 +175,10 @@ DumpStats run_macsio_rank(exec::RankCtx& ctx, const Params& params,
                                            params.agg_link_bandwidth, 1.0e-6};
   const int tier =
       params.stage_to_bb ? pfs::kTierBurstBuffer : pfs::kTierPfs;
+  // The in-situ codec stage: every rank encodes its task document before it
+  // leaves the node. Codecs are stateless; each rank holds its own instance.
+  const auto cdc = codec::make_codec(params.codec_spec());
+  const bool encoded = params.codec_spec().enabled();
 
   DumpStats stats;
   if (rank == 0) {
@@ -202,28 +208,44 @@ DumpStats run_macsio_rank(exec::RankCtx& ctx, const Params& params,
     };
 
     if (aggregated) {
-      // Two-phase aggregation: serialize into memory, ship to the group's
-      // aggregator, and let only the aggregator touch the file system — the
-      // subfile holds the group's task documents concatenated in rank order,
-      // byte-identical to what the members would have written themselves.
+      // Two-phase aggregation: serialize into memory, encode through the
+      // codec stage, ship to the group's aggregator, and let only the
+      // aggregator touch the file system — the encoded documents cross the
+      // link, the aggregator decodes them, and the subfile holds the group's
+      // task documents concatenated in rank order, byte-identical to what
+      // the members would have written themselves.
       const int group = topo->group_of(rank);
       const int agg = topo->aggregator_of_group(group);
       std::vector<std::byte> doc;
       VectorSink vsink(doc);
       serialize_task_doc(vsink);
       written = doc.size();
-      const auto payloads =
-          exec::gatherv_group(ctx, doc, topo->members_of(group), agg, kShipTag);
+      std::vector<std::byte> blob;
+      if (encoded) blob = cdc->encode(doc);
+      const auto payloads = exec::gatherv_group(ctx, encoded ? blob : doc,
+                                                topo->members_of(group), agg,
+                                                kShipTag);
       if (rank == agg) {
         const std::string path =
             aggregated_file_path_for(params, *iface, group, dump);
+        std::uint64_t encoded_bytes = 0;
+        double codec_cpu = 0.0;
         pfs::OutFile out(backend, path);
-        for (const auto& payload : payloads) out.write(payload);
+        for (const auto& payload : payloads) {
+          if (encoded) {
+            const codec::CompressResult enc = cdc->peek(payload);
+            encoded_bytes += enc.out_bytes;
+            codec_cpu += enc.cpu_seconds;
+            out.write(cdc->decode(payload));
+          } else {
+            out.write(payload);
+          }
+        }
         const std::uint64_t subfile_bytes = out.bytes_written();
         out.close();  // surface flush errors (destructor closes quietly)
         if (trace != nullptr)
-          trace->record_staged_write(dump, 0, rank, path, subfile_bytes, tier,
-                                     group);
+          trace->record_encoded_write(dump, 0, rank, path, subfile_bytes,
+                                      encoded_bytes, codec_cpu, tier, group);
       }
     } else {
       const std::string path = dump_file_path_for(params, *iface, rank, dump);
@@ -254,8 +276,12 @@ DumpStats run_macsio_rank(exec::RankCtx& ctx, const Params& params,
       if (same_file_successor) {
         ctx.send_token(written, rank + 1, kBatonTag);
       }
-      if (trace != nullptr)
-        trace->record_staged_write(dump, 0, rank, path, written, tier, -1);
+      if (trace != nullptr) {
+        const codec::CompressResult enc =
+            encoded ? cdc->plan(written) : codec::CompressResult{};
+        trace->record_encoded_write(dump, 0, rank, path, written,
+                                    enc.out_bytes, enc.cpu_seconds, tier, -1);
+      }
     }
 
     // Gather per-rank byte counts so rank 0 can write the root metadata and
@@ -265,37 +291,49 @@ DumpStats run_macsio_rank(exec::RankCtx& ctx, const Params& params,
 
     if (rank == 0) {
       std::uint64_t dump_bytes = 0;
+      // Per-task codec results, re-derived deterministically from the raw
+      // byte counts (plan is a pure function of size) — one chunk per doc.
+      std::vector<codec::CompressResult> encs(
+          static_cast<std::size_t>(params.nprocs));
       for (int r = 0; r < params.nprocs; ++r) {
         const std::uint64_t b = all_bytes[static_cast<std::size_t>(r)];
         stats.task_bytes[static_cast<std::size_t>(dump)][static_cast<std::size_t>(r)] = b;
         dump_bytes += b;
+        encs[static_cast<std::size_t>(r)] = cdc->plan(b);
+        stats.codec.add(dump, -1, encs[static_cast<std::size_t>(r)]);
         if (!aggregated) {
+          // Encoded bytes hit the filesystem; the encode cpu delays submit.
+          const auto& enc = encs[static_cast<std::size_t>(r)];
           stats.requests.push_back(pfs::IoRequest{
-              r, submit_time, dump_file_path_for(params, *iface, r, dump), b,
+              r, submit_time + enc.cpu_seconds,
+              dump_file_path_for(params, *iface, r, dump), enc.out_bytes,
               tier});
         }
       }
       if (aggregated) {
-        // One request per subfile, submitted once the group's documents have
-        // crossed the interconnect to the aggregator.
+        // One request per subfile, submitted once every member has encoded
+        // its document (concurrently — the slowest encode gates the group)
+        // and the encoded bytes have crossed the interconnect.
         for (int g = 0; g < topo->ngroups(); ++g) {
           const int agg = topo->aggregator_of_group(g);
-          std::uint64_t subfile_bytes = 0;
+          std::uint64_t subfile_encoded = 0;
           std::uint64_t shipped = 0;
           int nmessages = 0;
+          double encode_gate = 0.0;
           for (int r : topo->members_of(g)) {
-            const std::uint64_t b = all_bytes[static_cast<std::size_t>(r)];
-            subfile_bytes += b;
+            const auto& enc = encs[static_cast<std::size_t>(r)];
+            subfile_encoded += enc.out_bytes;
+            encode_gate = std::max(encode_gate, enc.cpu_seconds);
             if (r != agg) {
-              shipped += b;
+              shipped += enc.out_bytes;
               ++nmessages;
             }
           }
-          const double ready =
-              submit_time + staging::ship_cost(agg_cfg, shipped, nmessages);
+          const double ready = submit_time + encode_gate +
+                               staging::ship_cost(agg_cfg, shipped, nmessages);
           stats.requests.push_back(pfs::IoRequest{
               agg, ready, aggregated_file_path_for(params, *iface, g, dump),
-              subfile_bytes, tier});
+              subfile_encoded, tier});
         }
       }
       // The root document reports the dump's task-data total, aggregated or

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "codec/stats.hpp"
 #include "exec/engine.hpp"
 #include "iostats/trace.hpp"
 #include "macsio/params.hpp"
@@ -48,8 +49,16 @@ struct DumpStats {
   std::uint64_t total_bytes = 0;
   std::uint64_t nfiles = 0;
   /// One I/O request per (rank, dump) data write, timed on the logical
-  /// compute clock; feed to pfs::SimFs for burst/bandwidth studies.
+  /// compute clock; feed to pfs::SimFs for burst/bandwidth studies. With a
+  /// non-identity --codec the data requests carry *encoded* sizes and their
+  /// submit times include the modeled encode cpu (compression happens on the
+  /// writer before anything is shipped or submitted); everything above
+  /// (task_bytes, bytes_per_dump, total_bytes) stays raw.
   std::vector<pfs::IoRequest> requests;
+  /// Codec accounting: raw vs encoded bytes and modeled encode cpu, per dump
+  /// (one chunk per task document; metadata is never compressed). Identity
+  /// codec: encoded == raw, zero cpu.
+  codec::CodecStats codec;
 
   /// Cumulative bytes after each dump.
   std::vector<double> cumulative() const;

@@ -31,6 +31,36 @@ Interface interface_from_string(const std::string& s) {
   throw std::invalid_argument("macsio: unknown interface '" + s + "'");
 }
 
+codec::CodecSpec Params::codec_spec() const {
+  codec::CodecSpec spec;
+  spec.name = codec;
+  spec.error_bound = codec_error_bound;
+  spec.throughput = codec_throughput;
+  return spec;
+}
+
+namespace {
+
+/// One home for every staging/codec knob range check, so the CLI rejects a
+/// bad --aggregators count, an unknown --codec name, or an out-of-range
+/// --codec_error_bound with the same one-line std::invalid_argument shape.
+void check_staging_codec_knobs(const Params& p, bool aggregators_given) {
+  if (aggregators_given && p.aggregators <= 0)
+    throw std::invalid_argument(
+        "macsio: --aggregators must be a positive aggregator count (got " +
+        std::to_string(p.aggregators) +
+        "); omit the flag to disable aggregation");
+  try {
+    codec::validate_spec(p.codec_spec());
+  } catch (const std::invalid_argument& e) {
+    // keep the codec layer's message, stamped with the owning knob set
+    throw std::invalid_argument("macsio: --codec knobs: " +
+                                std::string(e.what()));
+  }
+}
+
+}  // namespace
+
 Params Params::from_cli(const std::vector<std::string>& args) {
   util::ArgParser cli("macsio", "MACSio-compatible proxy I/O application");
   cli.add_option("interface", "output plugin: miftmpl|hdf5|h5lite|raw", 1,
@@ -54,6 +84,13 @@ Params Params::from_cli(const std::vector<std::string>& args) {
                  1, std::string("1.25e10"));
   cli.add_option("staging", "dump staging tier: none|bb", 1,
                  std::string("none"));
+  cli.add_option("codec", "in-situ compression model: identity|lossless|ebl",
+                 1, std::string("identity"));
+  cli.add_option("codec_error_bound", "relative error bound for --codec ebl",
+                 1, std::string("1e-3"));
+  cli.add_option("codec_throughput",
+                 "modeled encode throughput (bytes/s); 0 = codec default", 1,
+                 std::string("0"));
   cli.add_option("nprocs", "virtual MPI tasks", 1, std::string("1"));
   cli.add_option("output_dir", "output directory", 1, std::string("macsio_out"));
   cli.add_option("fill", "value fill mode: sized|real", 1, std::string("sized"));
@@ -84,20 +121,19 @@ Params Params::from_cli(const std::vector<std::string>& args) {
   p.compute_time = cli.get_double("compute_time");
   p.meta_size = util::parse_bytes(cli.get("meta_size"));
   p.dataset_growth = cli.get_double("dataset_growth");
-  if (cli.has("aggregators")) {  // no default: present only when given
-    const std::int64_t aggs = cli.get_int("aggregators");
-    if (aggs <= 0)
-      throw std::invalid_argument(
-          "macsio: --aggregators must be a positive aggregator count (got " +
-          std::to_string(aggs) + "); omit the flag to disable aggregation");
-    p.aggregators = static_cast<int>(aggs);
-  }
+  const bool aggregators_given = cli.has("aggregators");
+  if (aggregators_given)  // no default: present only when given
+    p.aggregators = static_cast<int>(cli.get_int("aggregators"));
   p.agg_link_bandwidth = cli.get_double("agg_link_bw");
   const std::string staging = util::to_lower(cli.get("staging"));
   if (staging == "bb") p.stage_to_bb = true;
   else if (staging != "none")
     throw std::invalid_argument("macsio: bad staging tier '" + staging +
                                 "' (expected none|bb)");
+  p.codec = util::to_lower(cli.get("codec"));
+  p.codec_error_bound = cli.get_double("codec_error_bound");
+  p.codec_throughput = cli.get_double("codec_throughput");
+  check_staging_codec_knobs(p, aggregators_given);
   p.nprocs = static_cast<int>(cli.get_int("nprocs"));
   p.output_dir = cli.get("output_dir");
   const std::string fill = util::to_lower(cli.get("fill"));
@@ -136,6 +172,11 @@ std::vector<std::string> Params::to_cli() const {
     push("agg_link_bw", util::format_g(agg_link_bandwidth, 17));
   }
   if (stage_to_bb) push("staging", "bb");
+  if (codec != "identity") {
+    push("codec", codec);
+    push("codec_error_bound", util::format_g(codec_error_bound, 17));
+    push("codec_throughput", util::format_g(codec_throughput, 17));
+  }
   push("nprocs", std::to_string(nprocs));
   push("output_dir", output_dir);
   push("fill", fill == FillMode::kSized ? "sized" : "real");
@@ -174,6 +215,12 @@ void Params::validate() const {
                     "--aggregators or MIF <n>, not both");
   AMRIO_EXPECTS_MSG(agg_link_bandwidth > 0,
                     "macsio: agg_link_bw must be > 0");
+  // single source of truth for the codec knob ranges: the codec registry
+  try {
+    codec::validate_spec(codec_spec());
+  } catch (const std::invalid_argument& e) {
+    AMRIO_EXPECTS_MSG(false, "macsio: " << e.what());
+  }
 }
 
 std::uint64_t Params::part_bytes_at_dump(int dump) const {

@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "codec/codec.hpp"
+
 namespace amrio::macsio {
 
 enum class Interface { kMiftmpl, kH5Lite, kRaw };
@@ -49,6 +51,23 @@ struct Params {
   /// tier so SimFs replays absorb at BB bandwidth and drain asynchronously.
   bool stage_to_bb = false;
 
+  // codec subsystem (in-situ compression stage)
+  /// --codec: compression model applied to every task document before it
+  /// leaves the writer — "identity" (off), "lossless", or "ebl"
+  /// (error-bounded lossy). Encoded bytes travel the aggregation link and
+  /// land on the tier (pfs::IoRequest sizes shrink, encode cpu lands on the
+  /// request timeline before submit); raw bytes stay conserved in the
+  /// accounting (task_bytes, bytes_per_dump) and in backend file contents.
+  std::string codec = "identity";
+  /// --codec_error_bound: relative error bound in (0, 1) for --codec ebl.
+  double codec_error_bound = 1.0e-3;
+  /// --codec_throughput: modeled encode throughput (bytes/sec); 0 = the
+  /// codec's default.
+  double codec_throughput = 0.0;
+
+  /// The codec::CodecSpec equivalent of the three knobs above.
+  codec::CodecSpec codec_spec() const;
+
   // run context (what jsrun provided in the paper's Listing 1)
   int nprocs = 1;
   std::string output_dir = "macsio_out";
@@ -61,6 +80,8 @@ struct Params {
   ///   --num_dumps N --part_size 1.5M --avg_num_parts 2.5 --vars_per_part 4
   ///   --compute_time 0.5 --meta_size 4K --dataset_growth 1.013
   ///   --aggregators 8 --agg_link_bw 1.25e10 --staging none|bb
+  ///   --codec identity|lossless|ebl --codec_error_bound 1e-3
+  ///   --codec_throughput 3e9
   ///   --nprocs N --output_dir path --fill real|sized --seed S
   /// Throws std::invalid_argument on unknown/malformed arguments.
   static Params from_cli(const std::vector<std::string>& args);

@@ -75,6 +75,10 @@ struct IoRequest {
   int client = 0;
   double submit_time = 0.0;
   std::string file;
+  /// Bytes to serve. Workloads with an in-situ codec stage (amrio::codec)
+  /// submit *encoded* sizes here — what actually crosses the NIC and lands
+  /// on the OSTs/tier — with the modeled encode cpu already folded into
+  /// `submit_time`; raw production is accounted upstream.
   std::uint64_t bytes = 0;
   /// kTierPfs (direct) or kTierBurstBuffer (absorb + async drain). The tag is
   /// a request attribute: a SimFs without an enabled BB tier serves tagged

@@ -1,9 +1,11 @@
 #include "plotfile/writer.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <map>
 #include <sstream>
 
+#include "codec/codec.hpp"
 #include "plotfile/fab_io.hpp"
 #include "staging/aggregator.hpp"
 #include "util/assert.hpp"
@@ -182,6 +184,13 @@ WriteStats predict_impl(const PlotfileSpec& spec,
   WriteStats stats;
   stats.rank_level_bytes.assign(layouts.size(), {});
 
+  // Data-free codec model: plan() from sizes alone. Matches the write path
+  // exactly for identity/lossless (pure size functions) and for ebl with
+  // pinned smoothness; auto-smoothness ebl measures real fabs on write and
+  // diverges here by design (there is no data to measure).
+  const auto cdc = codec::make_codec(spec.codec);
+  const bool encoded = spec.codec.enabled();
+
   // ---- per-level data files + Cell_H
   for (std::size_t l = 0; l < layouts.size(); ++l) {
     const auto& layout = layouts[l];
@@ -196,27 +205,48 @@ WriteStats predict_impl(const PlotfileSpec& spec,
       const std::uint64_t written = plan.rank_bytes.at(rank);
       stats.rank_level_bytes[l][static_cast<std::size_t>(rank)] = written;
       stats.data_bytes += written;
+      if (encoded && written > 0)
+        stats.codec.add(static_cast<int>(spec.step), static_cast<int>(l),
+                        cdc->plan(written));
     }
     if (spec.aggregators > 0) {
       const auto topo = staging::AggTopology::make(
           nranks, level_groups(spec.aggregators, nranks));
+      // Per-group codec sums over member chunks (the write-path aggregator
+      // records the same sums from the shipped containers).
+      std::map<int, codec::CompressResult> group_enc;
+      if (encoded) {
+        for (const auto& [r, bytes] : plan.rank_bytes) {
+          const codec::CompressResult e = cdc->plan(bytes);
+          auto& acc = group_enc[topo.group_of(r)];
+          acc.raw_bytes += e.raw_bytes;
+          acc.out_bytes += e.out_bytes;
+          acc.cpu_seconds += e.cpu_seconds;
+        }
+      }
       for (const auto& [g, bytes] : plan.group_bytes) {
         const std::string path =
             level_dir + "/Cell_D_" +
             util::zero_pad(static_cast<std::uint64_t>(g), 5);
         ++stats.nfiles;
         if (trace != nullptr)
-          trace->record_staged_write(spec.step, static_cast<int>(l),
-                                     topo.aggregator_of_group(g), path, bytes,
-                                     /*tier=*/0, g);
+          trace->record_encoded_write(spec.step, static_cast<int>(l),
+                                      topo.aggregator_of_group(g), path, bytes,
+                                      group_enc[g].out_bytes,
+                                      group_enc[g].cpu_seconds, /*tier=*/0, g);
       }
     } else {
       for (const auto& [rank, boxes] : plan.rank_boxes) {
         const std::string path = level_dir + "/" + plan.fabs[boxes.front()].file;
         ++stats.nfiles;
-        if (trace != nullptr)
-          trace->record_write(spec.step, static_cast<int>(l), rank, path,
-                              plan.rank_bytes.at(rank));
+        if (trace != nullptr) {
+          const std::uint64_t written = plan.rank_bytes.at(rank);
+          const codec::CompressResult e =
+              encoded ? cdc->plan(written) : codec::CompressResult{};
+          trace->record_encoded_write(spec.step, static_cast<int>(l), rank,
+                                      path, written, e.out_bytes,
+                                      e.cpu_seconds, /*tier=*/0, -1);
+        }
       }
     }
 
@@ -288,6 +318,22 @@ WriteStats write_plotfile_rank(exec::RankCtx& ctx, pfs::StorageBackend& backend,
   }
   constexpr int kShipTag = 74;
 
+  // Per-Cell_D codec hook: each rank's chunk is modeled (and, under
+  // aggregation, physically containered) before it leaves the node. With
+  // auto smoothness the ebl model reads the rank's real FAB values.
+  const auto cdc = codec::make_codec(spec.codec);
+  const bool encoded = spec.codec.enabled();
+  const auto plan_chunk = [&](std::uint64_t raw_bytes,
+                              const std::vector<std::size_t>& boxes,
+                              const mesh::MultiFab& mf) {
+    if (spec.codec.smoothness < 0.0) {
+      codec::SmoothnessEstimator est;
+      for (std::size_t bi : boxes) est.add(mf.fab(bi).data());
+      return cdc->plan_with(raw_bytes, est.value());
+    }
+    return cdc->plan(raw_bytes);
+  };
+
   // Phase 1: Cell_D data. Classic MIF: every rank writes its own file,
   // concurrently. Aggregated MIF: members serialize their fabs into memory
   // and ship them to their group's aggregator, which writes the one
@@ -301,6 +347,7 @@ WriteStats write_plotfile_rank(exec::RankCtx& ctx, pfs::StorageBackend& backend,
                               : std::vector<std::size_t>{};
     std::uint64_t written = 0;
     std::uint64_t my_files = 0;
+    codec::CompressResult enc{};
     if (spec.aggregators > 0) {
       if (rank < level_ranks) {
         const auto topo = staging::AggTopology::make(
@@ -311,22 +358,41 @@ WriteStats write_plotfile_rank(exec::RankCtx& ctx, pfs::StorageBackend& backend,
         const auto& mf = *levels[l].data;
         for (std::size_t bi : my_boxes)
           written += write_fab(payload, mf.fab(bi), mf.valid_box(bi));
+        // Encoded chunks cross the link; the aggregator decodes them, so the
+        // subfile stays the raw rank-order concatenation either way.
+        if (encoded) enc = plan_chunk(written, my_boxes, mf);
         const auto payloads = exec::gatherv_group(
-            ctx, payload, topo.members_of(group), agg, kShipTag);
+            ctx, encoded ? cdc->encode_as(payload, enc) : std::move(payload),
+            topo.members_of(group), agg, kShipTag);
         if (rank == agg) {
           std::uint64_t group_total = 0;
-          for (const auto& pl : payloads) group_total += pl.size();
+          std::uint64_t group_encoded = 0;
+          double group_cpu = 0.0;
+          for (const auto& pl : payloads) {
+            if (encoded) {
+              const codec::CompressResult member = cdc->peek(pl);
+              group_total += member.raw_bytes;
+              group_encoded += member.out_bytes;
+              group_cpu += member.cpu_seconds;
+            } else {
+              group_total += pl.size();
+            }
+          }
           if (group_total > 0) {
             const std::string path =
                 spec.dir + "/Level_" + std::to_string(l) + "/Cell_D_" +
                 util::zero_pad(static_cast<std::uint64_t>(group), 5);
             pfs::OutFile out(backend, path);
-            for (const auto& pl : payloads) out.write(pl);
+            for (const auto& pl : payloads) {
+              if (encoded) out.write(cdc->decode(pl));
+              else out.write(pl);
+            }
             out.close();  // surface flush errors
             ++my_files;
             if (trace != nullptr)
-              trace->record_staged_write(spec.step, static_cast<int>(l), rank,
-                                         path, group_total, /*tier=*/0, group);
+              trace->record_encoded_write(spec.step, static_cast<int>(l), rank,
+                                          path, group_total, group_encoded,
+                                          group_cpu, /*tier=*/0, group);
           }
         }
       }
@@ -340,17 +406,38 @@ WriteStats write_plotfile_rank(exec::RankCtx& ctx, pfs::StorageBackend& backend,
         written += write_fab(out, mf.fab(bi), mf.valid_box(bi));
       out.close();  // surface flush errors (destructor closes quietly)
       ++my_files;
+      if (encoded) enc = plan_chunk(written, my_boxes, mf);
       if (trace != nullptr)
-        trace->record_write(spec.step, static_cast<int>(l), rank, path, written);
+        trace->record_encoded_write(spec.step, static_cast<int>(l), rank, path,
+                                    written, enc.out_bytes, enc.cpu_seconds,
+                                    /*tier=*/0, -1);
     }
     // Gather per-rank data bytes — the collective AMReX performs so the
     // metadata writer knows every FabOnDisk offset is consistent.
     const auto all_bytes = ctx.gather(written, 0);
+    // Codec dimensions ride two extra gathers (uniformly gated on the spec,
+    // so every rank joins the same collective sequence).
+    const std::vector<std::uint64_t> all_enc =
+        encoded ? ctx.gather(enc.out_bytes, 0) : std::vector<std::uint64_t>{};
+    const std::vector<std::uint64_t> all_cpu_ns =
+        encoded ? ctx.gather(static_cast<std::uint64_t>(
+                                 std::llround(enc.cpu_seconds * 1e9)),
+                             0)
+                : std::vector<std::uint64_t>{};
     if (rank == 0) {
       for (int r = 0; r < level_ranks; ++r) {
         stats.rank_level_bytes[l][static_cast<std::size_t>(r)] =
             all_bytes[static_cast<std::size_t>(r)];
         stats.data_bytes += all_bytes[static_cast<std::size_t>(r)];
+        if (encoded && all_bytes[static_cast<std::size_t>(r)] > 0) {
+          stats.codec.add(
+              static_cast<int>(spec.step), static_cast<int>(l),
+              codec::CompressResult{
+                  all_bytes[static_cast<std::size_t>(r)],
+                  all_enc[static_cast<std::size_t>(r)],
+                  static_cast<double>(all_cpu_ns[static_cast<std::size_t>(r)]) *
+                      1e-9});
+        }
       }
       // cross-check the gathered totals against the deterministic plan
       const LevelPlan& plan = plans[l];

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "codec/stats.hpp"
 #include "exec/engine.hpp"
 #include "iostats/trace.hpp"
 #include "mesh/distribution.hpp"
@@ -62,6 +63,15 @@ struct PlotfileSpec {
   /// one-file-per-owning-rank. Levels with fewer ranks than groups fall back
   /// to one group per rank. `predict_plotfile` honors the same setting.
   int aggregators = 0;
+  /// Per-Cell_D codec hook: each rank's Cell_D chunk passes through this
+  /// codec before it leaves the node — encoded bytes cross the aggregation
+  /// link and fill `WriteStats::codec` / trace codec dimensions, while file
+  /// contents stay raw (reader-compatible; the modeled PFS stores the
+  /// decoded image). With `codec.smoothness < 0` (auto) the ebl model
+  /// estimates smoothness from the rank's real FAB data; pin the smoothness
+  /// for byte-exact codec parity with `predict_plotfile` (identity and
+  /// lossless are always parity-exact, being pure size functions).
+  codec::CodecSpec codec;
 };
 
 struct WriteStats {
@@ -71,6 +81,10 @@ struct WriteStats {
   std::uint64_t nfiles = 0;
   /// bytes per [level][rank] of Cell_D data (size nlevels × nranks).
   std::vector<std::vector<std::uint64_t>> rank_level_bytes;
+  /// Codec accounting (one chunk per rank per level with data, keyed by
+  /// spec.step / level; metadata is never compressed). Identity: encoded ==
+  /// raw, zero cpu. Populated on rank 0.
+  codec::CodecStats codec;
 };
 
 /// Write a multi-level plotfile (the WriteMultiLevelPlotfile path the paper

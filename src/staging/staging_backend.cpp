@@ -7,9 +7,10 @@
 namespace amrio::staging {
 
 StagingBackend::StagingBackend(pfs::StorageBackend& final_store,
-                               bool store_contents)
+                               bool store_contents, codec::CodecSpec codec)
     : final_(&final_store),
       store_contents_(store_contents),
+      codec_(codec::make_codec(codec)),
       stage_(std::make_unique<pfs::MemoryBackend>(store_contents)) {}
 
 pfs::FileHandle StagingBackend::create(const std::string& path) {
@@ -89,6 +90,22 @@ std::vector<std::string> StagingBackend::pending() const {
   return stage_->list("");
 }
 
+std::uint64_t StagingBackend::pending_encoded_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& path : stage_->list(""))
+    total += codec_->plan(stage_->size(path)).out_bytes;
+  return total;
+}
+
+std::uint64_t StagingBackend::encoded_size(const std::string& path) const {
+  return codec_->plan(stage_->size(path)).out_bytes;
+}
+
+codec::CodecStats StagingBackend::codec_stats() const {
+  std::lock_guard<std::mutex> lock(mode_mu_);
+  return codec_stats_;
+}
+
 std::vector<StagingBackend::DrainRecord> StagingBackend::drain_all() {
   std::vector<DrainRecord> drained;
   const auto paths = stage_->list("");  // sorted: deterministic replay order
@@ -118,7 +135,12 @@ std::vector<StagingBackend::DrainRecord> StagingBackend::drain_all() {
     }
     out.close();
     AMRIO_ENSURES(out.bytes_written() == bytes);
-    drained.push_back(DrainRecord{path, bytes});
+    const codec::CompressResult enc = codec_->plan(bytes);
+    {
+      std::lock_guard<std::mutex> lock(mode_mu_);
+      codec_stats_.add(-1, -1, enc);
+    }
+    drained.push_back(DrainRecord{path, bytes, enc.out_bytes});
   }
   stage_ = std::make_unique<pfs::MemoryBackend>(store_contents_);
   {
@@ -132,7 +154,8 @@ std::vector<pfs::IoRequest> StagingBackend::drain_requests(double clock,
                                                            int client) const {
   std::vector<pfs::IoRequest> reqs;
   for (const auto& path : stage_->list("")) {
-    reqs.push_back(pfs::IoRequest{client, clock, path, stage_->size(path),
+    reqs.push_back(pfs::IoRequest{client, clock, path,
+                                  codec_->plan(stage_->size(path)).out_bytes,
                                   pfs::kTierBurstBuffer});
   }
   return reqs;

@@ -19,6 +19,16 @@
 /// (accounting mode): drains then replay zero bytes of the recorded size into
 /// the final store — sizes and file sets are exact, contents are not retained
 /// (use store mode when byte-level content matters).
+///
+/// Codec stage: constructed with a non-identity `codec::CodecSpec`, the
+/// burst buffer holds each staged file *encoded* — the tier-side accounting
+/// (`pending_encoded_bytes`, `drain_requests` sizes, `DrainRecord::
+/// encoded_bytes`) shrinks to the codec's modeled size, while the staging
+/// area retains the decoded (raw) image so `drain_all` replays decompressed
+/// contents byte-exactly into the final store (the plotfile reader reads the
+/// drained tree unchanged) and accounting mode keeps exact raw sizes. A
+/// staged file is one compression unit, encoded at absorb: same sizes, same
+/// encoded sizes, deterministically.
 
 #include <cstdint>
 #include <map>
@@ -27,6 +37,8 @@
 #include <string>
 #include <vector>
 
+#include "codec/codec.hpp"
+#include "codec/stats.hpp"
 #include "pfs/backend.hpp"
 #include "pfs/simfs.hpp"
 
@@ -35,7 +47,8 @@ namespace amrio::staging {
 class StagingBackend final : public pfs::StorageBackend {
  public:
   explicit StagingBackend(pfs::StorageBackend& final_store,
-                          bool store_contents = true);
+                          bool store_contents = true,
+                          codec::CodecSpec codec = {});
 
   // Write path: absorbed by the staging area.
   pfs::FileHandle create(const std::string& path) override;
@@ -51,15 +64,21 @@ class StagingBackend final : public pfs::StorageBackend {
   std::vector<std::string> list(const std::string& prefix) const override;
   std::vector<std::byte> read(const std::string& path) const override;
 
-  /// Staged-but-not-yet-drained accounting.
+  /// Staged-but-not-yet-drained accounting (raw/decoded bytes).
   std::uint64_t pending_bytes() const;
   std::uint64_t pending_files() const;
   /// Paths currently staged, sorted.
   std::vector<std::string> pending() const;
+  /// Bytes the burst-buffer tier actually holds: the codec's modeled encoded
+  /// size of every staged file (== pending_bytes() under identity).
+  std::uint64_t pending_encoded_bytes() const;
+  /// Modeled encoded size of one staged file. Throws when not staged.
+  std::uint64_t encoded_size(const std::string& path) const;
 
   struct DrainRecord {
     std::string path;
-    std::uint64_t bytes = 0;
+    std::uint64_t bytes = 0;          ///< raw bytes replayed into the store
+    std::uint64_t encoded_bytes = 0;  ///< bytes the tier held (== bytes under identity)
   };
 
   /// Replay every staged file into the final store (sorted path order,
@@ -68,23 +87,30 @@ class StagingBackend final : public pfs::StorageBackend {
   std::vector<DrainRecord> drain_all();
 
   /// Tier-tagged SimFs requests for everything currently pending: one request
-  /// per staged file, submitted at `clock`, attributed to `client`. Feed them
-  /// to a `pfs::SimFs` with an enabled BB tier to time the drain.
+  /// per staged file, submitted at `clock`, attributed to `client`. Request
+  /// sizes are the encoded bytes — what actually crosses the drain link. Feed
+  /// them to a `pfs::SimFs` with an enabled BB tier to time the drain.
   std::vector<pfs::IoRequest> drain_requests(double clock, int client) const;
 
   pfs::StorageBackend& final_store() { return *final_; }
   bool stores_contents() const { return store_contents_; }
+  const codec::Codec& codec() const { return *codec_; }
+  /// Cumulative codec accounting over every drained file (raw vs encoded
+  /// bytes, modeled cpu; dump/level unattributed).
+  codec::CodecStats codec_stats() const;
 
  private:
   bool continues_final(const std::string& path) const;
 
   pfs::StorageBackend* final_;
   bool store_contents_;
+  std::unique_ptr<const codec::Codec> codec_;
   std::unique_ptr<pfs::MemoryBackend> stage_;
   /// Staged files that continue a file already present in the final store
   /// (drain must append rather than truncate).
   mutable std::mutex mode_mu_;
   std::map<std::string, bool> append_continuation_;
+  codec::CodecStats codec_stats_;  ///< guarded by mode_mu_
 };
 
 }  // namespace amrio::staging

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "codec/codec.hpp"
 #include "exec/engine.hpp"
 #include "iostats/trace.hpp"
 #include "macsio/driver.hpp"
@@ -456,6 +457,35 @@ TEST(StagingBackend, TransparentViewComposesAppendSuffixWithDrainedPrefix) {
   { p::OutFile f(bb, "f"); f.write("xy"); }
   EXPECT_EQ(bb.size("f"), 2u);
   EXPECT_EQ(bb.read("f").size(), 2u);
+}
+
+TEST(StagingBackend, AccountingModeDrainsExactSizesAndFileSets) {
+  // store_contents = false: only byte counts are staged, yet the drained
+  // file set and per-file sizes must match a direct run exactly — including
+  // when the tier-side accounting shrinks under an encoded (codec) view.
+  auto params = agg_params(16, 4);
+  p::MemoryBackend direct_be(false);
+  mc::run_macsio(params, direct_be);
+
+  amrio::codec::CodecSpec codec;
+  codec.name = "ebl";
+  p::MemoryBackend final_be(false);
+  st::StagingBackend bb(final_be, /*store_contents=*/false, codec);
+  mc::run_macsio(params, bb);
+
+  EXPECT_EQ(bb.pending_files(), direct_be.file_count());
+  EXPECT_EQ(bb.pending_bytes(), direct_be.total_bytes());
+  EXPECT_LT(bb.pending_encoded_bytes(), bb.pending_bytes());
+  const auto drained = bb.drain_all();
+  EXPECT_EQ(drained.size(), direct_be.file_count());
+  for (const auto& rec : drained) {
+    EXPECT_EQ(rec.bytes, direct_be.size(rec.path)) << rec.path;
+    EXPECT_LE(rec.encoded_bytes, rec.bytes) << rec.path;
+  }
+  ASSERT_EQ(final_be.list(""), direct_be.list(""));
+  for (const auto& path : direct_be.list(""))
+    EXPECT_EQ(final_be.size(path), direct_be.size(path)) << path;
+  EXPECT_EQ(final_be.total_bytes(), direct_be.total_bytes());
 }
 
 TEST(StagingBackend, MacsioDumpThroughBbMatchesDirect) {
