@@ -123,7 +123,7 @@ int main(int argc, char** argv) {
             {std::to_string(ranks), mode.name, point.label,
              util::human_bytes(raw_bytes), util::human_bytes(encoded_bytes),
              util::format_g(stats.codec.total.ratio(), 3),
-             util::format_g(stats.codec.total.cpu_seconds, 3) + "s",
+             util::format_g(stats.codec.total.cpu_seconds(), 3) + "s",
              util::format_g(report.perceived.makespan, 4) + "s",
              util::format_g(report.sustained.makespan, 4) + "s"});
         csv.field(static_cast<std::int64_t>(ranks))
@@ -133,7 +133,7 @@ int main(int argc, char** argv) {
             .field(static_cast<std::int64_t>(raw_bytes))
             .field(static_cast<std::int64_t>(encoded_bytes))
             .field(stats.codec.total.ratio())
-            .field(stats.codec.total.cpu_seconds)
+            .field(stats.codec.total.cpu_seconds())
             .field(report.perceived.makespan)
             .field(report.sustained.makespan)
             .field(report.perceived_bandwidth)

@@ -41,7 +41,9 @@ int main(int argc, char** argv) {
           "  --meta_size --dataset_growth, plus --nprocs N.\n"
           "  staging: --aggregators N --agg_link_bw B --staging none|bb\n"
           "  codec:   --codec identity|lossless|ebl --codec_error_bound E\n"
-          "           --codec_throughput B\n"
+          "           --codec_throughput B --codec_decode_throughput B\n"
+          "  restart: --restart (read the last dump back)\n"
+          "           --read_staging none|bb --prefetch N\n"
           "  extras: --spmd (threaded ranks), --disk (write real files),\n"
           "          --out DIR (disk root)\n");
       return 0;
@@ -90,7 +92,20 @@ int main(int argc, char** argv) {
                 params.codec.c_str(),
                 util::human_bytes(stats.codec.total.raw_bytes).c_str(),
                 util::human_bytes(stats.codec.total.encoded_bytes).c_str(),
-                stats.codec.total.ratio(), stats.codec.total.cpu_seconds);
+                stats.codec.total.ratio(), stats.codec.total.encode_seconds);
+  }
+
+  if (params.restart) {
+    const macsio::RestartStats restart =
+        macsio::run_restart(*engine, params, *backend, &trace);
+    std::printf(
+        "restart (dump %d, %s): %s decoded image, %s fetched off the %s, "
+        "decode gate %.3gs, scatter %.3gs\n",
+        restart.dump, params.restart_from_bb ? "prefetched bb" : "cold pfs",
+        util::human_bytes(restart.raw_bytes).c_str(),
+        util::human_bytes(restart.encoded_bytes).c_str(),
+        params.restart_from_bb ? "bb tier" : "pfs",
+        restart.decode_gate, restart.scatter_seconds);
   }
 
   // burst view of the request stream (compute_time spacing)

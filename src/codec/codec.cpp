@@ -157,8 +157,12 @@ class IdentityCodec final : public Codec {
 /// jitter standing in for content variation.
 class LosslessCodec final : public Codec {
  public:
-  explicit LosslessCodec(double throughput)
-      : throughput_(throughput > 0.0 ? throughput : 1.2e9) {}
+  LosslessCodec(double throughput, double decode_throughput)
+      : throughput_(throughput > 0.0 ? throughput : 1.2e9),
+        // inflate runs well ahead of deflate: default to ~2.5x the encode
+        // side, the deflate-class asymmetry
+        decode_throughput_(decode_throughput > 0.0 ? decode_throughput
+                                                   : 2.5 * throughput_) {}
 
   const std::string& name() const override {
     static const std::string n = "lossless";
@@ -182,8 +186,13 @@ class LosslessCodec final : public Codec {
                           cpu_cost(raw_bytes, throughput_)};
   }
 
+  double decode_seconds(std::uint64_t raw_bytes) const override {
+    return cpu_cost(raw_bytes, decode_throughput_);
+  }
+
  private:
   double throughput_;
+  double decode_throughput_;
 };
 
 // ------------------------------------------------------------------ ebl
@@ -195,9 +204,14 @@ class LosslessCodec final : public Codec {
 /// incompressibility.
 class EblCodec final : public Codec {
  public:
-  EblCodec(double error_bound, double throughput, double smoothness)
+  EblCodec(double error_bound, double throughput, double decode_throughput,
+           double smoothness)
       : error_bound_(error_bound),
         throughput_(throughput > 0.0 ? throughput : 3.0e9),
+        // SZ-class decompression (Huffman decode + prediction replay) runs
+        // roughly twice the compression throughput
+        decode_throughput_(decode_throughput > 0.0 ? decode_throughput
+                                                   : 2.0 * throughput_),
         smoothness_(smoothness) {}
 
   const std::string& name() const override {
@@ -227,9 +241,14 @@ class EblCodec final : public Codec {
     return plan_with(values.size_bytes(), s);
   }
 
+  double decode_seconds(std::uint64_t raw_bytes) const override {
+    return cpu_cost(raw_bytes, decode_throughput_);
+  }
+
  private:
   double error_bound_;
   double throughput_;
+  double decode_throughput_;
   double smoothness_;
 };
 
@@ -281,6 +300,9 @@ void validate_spec(const CodecSpec& spec) {
         std::to_string(spec.error_bound));
   if (spec.throughput < 0.0)
     throw std::invalid_argument("codec: throughput must be >= 0 (0 = default)");
+  if (spec.decode_throughput < 0.0)
+    throw std::invalid_argument(
+        "codec: decode throughput must be >= 0 (0 = default)");
   if (spec.smoothness > 1.0)
     throw std::invalid_argument(
         "codec: smoothness must be <= 1 (negative = auto)");
@@ -290,10 +312,11 @@ std::unique_ptr<Codec> make_codec(const CodecSpec& spec) {
   validate_spec(spec);
   if (spec.name == "identity") return std::make_unique<IdentityCodec>();
   if (spec.name == "lossless")
-    return std::make_unique<LosslessCodec>(spec.throughput);
+    return std::make_unique<LosslessCodec>(spec.throughput,
+                                           spec.decode_throughput);
   AMRIO_ENSURES(spec.name == "ebl");
   return std::make_unique<EblCodec>(spec.error_bound, spec.throughput,
-                                    spec.smoothness);
+                                    spec.decode_throughput, spec.smoothness);
 }
 
 }  // namespace amrio::codec

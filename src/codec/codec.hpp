@@ -102,6 +102,16 @@ class Codec {
     return plan(values.size_bytes());
   }
 
+  /// Modeled decode cpu cost of restoring `raw_bytes` of original data —
+  /// what a restart reader pays after fetching encoded bytes off the
+  /// PFS/tier, before the solver resumes. A pure function of `raw_bytes`
+  /// (like `plan`), distinct from the encode cost: decompressors run at a
+  /// different (usually higher) throughput than compressors. Identity: 0.
+  virtual double decode_seconds(std::uint64_t raw_bytes) const {
+    (void)raw_bytes;
+    return 0.0;
+  }
+
   /// Encode a chunk for the wire/tier. The returned blob decodes byte-exactly
   /// via `decode`; its accounted size is `result.out_bytes` (the model), not
   /// `blob.size()`. Identity returns the raw bytes unchanged; modeling codecs
@@ -130,6 +140,9 @@ struct CodecSpec {
   double error_bound = 1.0e-3;
   /// Modeled encode throughput (bytes/sec); 0 = the codec's default.
   double throughput = 0.0;
+  /// Modeled decode throughput (bytes/sec) for the restart read path; 0 =
+  /// the codec's default (decoders typically outrun their encoders).
+  double decode_throughput = 0.0;
   /// ebl: fixed smoothness in [0, 1]; negative = auto (estimate from field
   /// contents when available, else the codec default). Pin it when predict
   /// parity across data-free paths matters.

@@ -5,14 +5,22 @@ namespace amrio::codec {
 void CodecTotals::add(const CompressResult& r) {
   raw_bytes += r.raw_bytes;
   encoded_bytes += r.out_bytes;
-  cpu_seconds += r.cpu_seconds;
+  encode_seconds += r.cpu_seconds;
+  ++chunks;
+}
+
+void CodecTotals::add_decode(const CompressResult& r, double decode_s) {
+  raw_bytes += r.raw_bytes;
+  encoded_bytes += r.out_bytes;
+  decode_seconds += decode_s;
   ++chunks;
 }
 
 void CodecTotals::merge(const CodecTotals& other) {
   raw_bytes += other.raw_bytes;
   encoded_bytes += other.encoded_bytes;
-  cpu_seconds += other.cpu_seconds;
+  encode_seconds += other.encode_seconds;
+  decode_seconds += other.decode_seconds;
   chunks += other.chunks;
 }
 
@@ -26,6 +34,13 @@ void CodecStats::add(int dump, int level, const CompressResult& r) {
   total.add(r);
   by_dump[dump].add(r);
   by_level[level].add(r);
+}
+
+void CodecStats::add_decode(int dump, int level, const CompressResult& r,
+                            double decode_s) {
+  total.add_decode(r, decode_s);
+  by_dump[dump].add_decode(r, decode_s);
+  by_level[level].add_decode(r, decode_s);
 }
 
 void CodecStats::merge(const CodecStats& other) {

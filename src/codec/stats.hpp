@@ -20,11 +20,24 @@ struct CodecTotals {
   std::uint64_t raw_bytes = 0;
   std::uint64_t encoded_bytes = 0;
   std::uint64_t chunks = 0;  ///< compression units (task docs, Cell_D chunks)
-  double cpu_seconds = 0.0;
+  /// Modeled cpu split by direction, so write-side (encode) reports are not
+  /// polluted when a restart read path adds decode cost into the same
+  /// accumulator and vice versa.
+  double encode_seconds = 0.0;
+  double decode_seconds = 0.0;
 
+  /// Encode-side accumulation (the write path).
   void add(const CompressResult& r);
+  /// Decode-side accumulation (the restart read path): `r` describes the
+  /// chunk being restored (raw/encoded sizes), `decode_s` the modeled decode
+  /// cpu — `r.cpu_seconds` (the encode cost) is deliberately NOT added.
+  void add_decode(const CompressResult& r, double decode_s);
   void merge(const CodecTotals& other);
   double ratio() const;
+  /// Deprecated sum accessor (encode + decode), kept so existing CSV columns
+  /// ("codec_cpu_s") and reports stay comparable. New code should read
+  /// `encode_seconds` / `decode_seconds` directly.
+  double cpu_seconds() const { return encode_seconds + decode_seconds; }
   std::uint64_t saved_bytes() const {
     return raw_bytes >= encoded_bytes ? raw_bytes - encoded_bytes : 0;
   }
@@ -39,6 +52,9 @@ struct CodecStats {
   std::map<int, CodecTotals> by_level;
 
   void add(int dump, int level, const CompressResult& r);
+  /// Decode-side variant: see CodecTotals::add_decode.
+  void add_decode(int dump, int level, const CompressResult& r,
+                  double decode_s);
   void merge(const CodecStats& other);
 };
 

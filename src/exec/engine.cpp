@@ -387,6 +387,37 @@ std::vector<std::vector<std::byte>> gatherv_group(
   return payloads;
 }
 
+std::vector<std::byte> scatterv_group(
+    RankCtx& ctx, const std::vector<std::vector<std::byte>>& payloads,
+    std::span<const int> members, int root, int tag) {
+  AMRIO_EXPECTS_MSG(!members.empty(), "scatterv_group: empty member list");
+  bool in_group = false;
+  bool root_in_group = false;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    AMRIO_EXPECTS_MSG(members[i] >= 0 && members[i] < ctx.nranks(),
+                      "scatterv_group: member rank out of range");
+    if (i > 0)
+      AMRIO_EXPECTS_MSG(members[i] > members[i - 1],
+                        "scatterv_group: members must be strictly ascending");
+    if (members[i] == ctx.rank()) in_group = true;
+    if (members[i] == root) root_in_group = true;
+  }
+  AMRIO_EXPECTS_MSG(in_group, "scatterv_group: calling rank not a member");
+  AMRIO_EXPECTS_MSG(root_in_group, "scatterv_group: root not a member");
+
+  if (ctx.rank() != root) return ctx.recv_bytes(root, tag);
+  AMRIO_EXPECTS_MSG(payloads.size() == members.size(),
+                    "scatterv_group: root needs one payload per member");
+  std::vector<std::byte> mine;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (members[i] == root)
+      mine = payloads[i];
+    else
+      ctx.send_bytes(payloads[i], members[i], tag);
+  }
+  return mine;
+}
+
 std::unique_ptr<Engine> make_engine(EngineKind kind, int nranks) {
   switch (kind) {
     case EngineKind::kSerial: return std::make_unique<SerialEngine>(nranks);

@@ -80,6 +80,17 @@ std::vector<std::vector<std::byte>> gatherv_group(
     RankCtx& ctx, std::span<const std::byte> mine, std::span<const int> members,
     int root, int tag);
 
+/// Group scatterv — `gatherv_group` in reverse, the read-side ship: `root`
+/// holds one payload per member (member order, so payloads.size() ==
+/// members.size() at the root and is ignored elsewhere) and fans them back
+/// out over point-to-point messages; every member returns its own payload.
+/// Like gatherv_group this is not a global collective — several restage
+/// groups can scatter concurrently. Byte-conserving: the concatenation of
+/// what the members receive equals the concatenation of what the root held.
+std::vector<std::byte> scatterv_group(
+    RankCtx& ctx, const std::vector<std::vector<std::byte>>& payloads,
+    std::span<const int> members, int root, int tag);
+
 using RankFn = std::function<void(RankCtx&)>;
 
 /// An execution substrate for SPMD driver bodies.

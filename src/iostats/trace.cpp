@@ -14,6 +14,8 @@ TraceRecorder::Sink& TraceRecorder::sink_for(int rank) {
 void TraceRecorder::record(IoEvent event) {
   if (event.op == IoEvent::Op::kWrite)
     write_bytes_.fetch_add(event.bytes, std::memory_order_relaxed);
+  if (event.op == IoEvent::Op::kRead)
+    read_bytes_.fetch_add(event.bytes, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   Sink& sink = sink_for(event.rank);
   std::lock_guard<std::mutex> lock(sink.mu);
@@ -54,6 +56,41 @@ void TraceRecorder::record_encoded_write(std::int64_t step, int level, int rank,
   record(std::move(e));
 }
 
+void TraceRecorder::record_read(std::int64_t step, int level, int rank,
+                                const std::string& path, std::uint64_t bytes,
+                                std::uint64_t encoded_bytes,
+                                double decode_seconds, int tier,
+                                int aggregator) {
+  IoEvent e;
+  e.op = IoEvent::Op::kRead;
+  e.step = step;
+  e.level = level;
+  e.rank = rank;
+  e.tier = tier;
+  e.aggregator = aggregator;
+  e.path = path;
+  e.bytes = bytes;
+  e.encoded_bytes = encoded_bytes;
+  e.codec_seconds = decode_seconds;
+  record(std::move(e));
+}
+
+void TraceRecorder::record_prefetch(std::int64_t step, int level, int rank,
+                                    const std::string& path,
+                                    std::uint64_t bytes, int tier,
+                                    int aggregator) {
+  IoEvent e;
+  e.op = IoEvent::Op::kPrefetch;
+  e.step = step;
+  e.level = level;
+  e.rank = rank;
+  e.tier = tier;
+  e.aggregator = aggregator;
+  e.path = path;
+  e.bytes = bytes;
+  record(std::move(e));
+}
+
 std::vector<IoEvent> TraceRecorder::events() const {
   std::vector<IoEvent> out;
   for (const auto& sink : sinks_) {
@@ -80,11 +117,16 @@ void TraceRecorder::clear() {
     sink.events.clear();
   }
   write_bytes_.store(0, std::memory_order_relaxed);
+  read_bytes_.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
 }
 
 std::uint64_t TraceRecorder::total_bytes() const {
   return write_bytes_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t TraceRecorder::total_read_bytes() const {
+  return read_bytes_.load(std::memory_order_relaxed);
 }
 
 }  // namespace amrio::iostats

@@ -25,7 +25,10 @@ namespace amrio::iostats {
 /// Context levels that do not apply use -1 (e.g. the top-level `Header`
 /// metadata file has level = -1, rank = -1).
 struct IoEvent {
-  enum class Op { kCreate, kWrite, kClose };
+  /// kRead/kPrefetch are the restart read path: a kRead fetches a dump's
+  /// bytes back (off the PFS or a prefetched BB extent), a kPrefetch is the
+  /// OST→node staging transfer that precedes BB-tier reads.
+  enum class Op { kCreate, kWrite, kClose, kRead, kPrefetch };
   Op op = Op::kWrite;
   std::int64_t step = -1;
   int level = -1;
@@ -38,10 +41,11 @@ struct IoEvent {
   int aggregator = -1;
   std::string path;
   std::uint64_t bytes = 0;
-  /// Codec dimensions: modeled post-codec size of this write (0 = no codec
-  /// stage — `bytes` stays the raw production count either way, so Eq. 1/2
-  /// aggregation is codec-agnostic) and the modeled encode cpu seconds spent
-  /// on the writer's timeline.
+  /// Codec dimensions: modeled post-codec size of this event's bytes (0 = no
+  /// codec stage — `bytes` stays the raw production count either way, so
+  /// Eq. 1/2 aggregation is codec-agnostic) and the modeled codec cpu
+  /// seconds spent on the rank's timeline — encode cpu for kWrite events,
+  /// decode cpu for kRead events (the cost paid before the solver resumes).
   std::uint64_t encoded_bytes = 0;
   double codec_seconds = 0.0;
 };
@@ -63,6 +67,19 @@ class TraceRecorder {
                             const std::string& path, std::uint64_t bytes,
                             std::uint64_t encoded_bytes, double codec_seconds,
                             int tier, int aggregator);
+  /// Restart read: `bytes` is the decoded (raw) image size restored to the
+  /// rank, `encoded_bytes` what was actually fetched off the PFS/tier (0 =
+  /// no codec stage), `decode_seconds` the modeled decode cpu.
+  void record_read(std::int64_t step, int level, int rank,
+                   const std::string& path, std::uint64_t bytes,
+                   std::uint64_t encoded_bytes, double decode_seconds,
+                   int tier, int aggregator);
+  /// OST→node prefetch of `bytes` (encoded sizes under a codec stage) ahead
+  /// of BB-tier restart reads; `tier` is the staging tier the extent lands
+  /// on (pfs::kTierBurstBuffer for every current caller).
+  void record_prefetch(std::int64_t step, int level, int rank,
+                       const std::string& path, std::uint64_t bytes, int tier,
+                       int aggregator);
 
   /// Merged snapshot of all events in stable (step, rank) order; events of
   /// one rank keep their recording order. Deterministic across engines.
@@ -72,6 +89,9 @@ class TraceRecorder {
 
   /// Sum of bytes over all write events (O(#sinks), no event walk).
   std::uint64_t total_bytes() const;
+  /// Sum of bytes over all read events — kept on its own counter so the
+  /// write-side production totals stay unpolluted by restart read-back.
+  std::uint64_t total_read_bytes() const;
 
  private:
   static constexpr std::size_t kSinks = 64;
@@ -83,6 +103,7 @@ class TraceRecorder {
 
   std::array<Sink, kSinks> sinks_;
   std::atomic<std::uint64_t> write_bytes_{0};
+  std::atomic<std::uint64_t> read_bytes_{0};
   std::atomic<std::size_t> count_{0};
 };
 

@@ -384,7 +384,209 @@ DumpStats run_macsio_rank(exec::RankCtx& ctx, const Params& params,
   return stats;
 }
 
+/// The single SPMD restart body: the dump loop in reverse for the last
+/// written dump. Rank 0 returns the full statistics; other ranks return
+/// empty stats.
+RestartStats run_restart_rank(exec::RankCtx& ctx, const Params& params,
+                              pfs::StorageBackend& backend,
+                              iostats::TraceRecorder* trace) {
+  params.validate();
+  AMRIO_EXPECTS_MSG(ctx.nranks() == params.nprocs,
+                    "run_restart: engine ranks " << ctx.nranks()
+                                                 << " != nprocs "
+                                                 << params.nprocs);
+  const auto iface = make_interface(params.interface);
+  const int rank = ctx.rank();
+  constexpr int kRestageTag = 74;
+  const int dump = params.num_dumps - 1;  // restart from the last checkpoint
+
+  const bool aggregated = params.aggregators > 0;
+  std::optional<staging::AggTopology> topo;
+  if (aggregated)
+    topo = staging::AggTopology::make(params.nprocs, params.aggregators);
+  const staging::AggregationConfig agg_cfg{params.aggregators,
+                                           params.agg_link_bandwidth, 1.0e-6};
+  const auto cdc = codec::make_codec(params.codec_spec());
+  const bool encoded = params.codec_spec().enabled();
+  const int read_tier =
+      params.restart_from_bb ? pfs::kTierBurstBuffer : pfs::kTierPfs;
+  const PartSpec spec =
+      make_part_spec(params.part_bytes_at_dump(dump), params.vars_per_part);
+
+  // The restage plan is a pure function of the parameters (task_doc_bytes is
+  // exact, codec plans are pure in the raw size), so every rank derives the
+  // same plan locally — restart read sizes are predicted byte-exactly the
+  // same way write sizes are, with nothing read yet.
+  std::vector<std::string> files(static_cast<std::size_t>(params.nprocs));
+  std::vector<std::uint64_t> doc_bytes(
+      static_cast<std::size_t>(params.nprocs));
+  for (int r = 0; r < params.nprocs; ++r) {
+    files[static_cast<std::size_t>(r)] =
+        aggregated
+            ? aggregated_file_path_for(params, *iface, topo->group_of(r), dump)
+            : dump_file_path_for(params, *iface, r, dump);
+    doc_bytes[static_cast<std::size_t>(r)] = iface->task_doc_bytes(
+        spec, r, dump, params.parts_of_rank(r), params.meta_size);
+  }
+  const staging::RestagePlan plan = staging::make_restage_plan(
+      files, doc_bytes, *cdc, aggregated ? &*topo : nullptr);
+  const staging::RestageSlice& mine =
+      plan.slices[static_cast<std::size_t>(rank)];
+
+  const bool contents = backend.stores_contents();
+  auto find_extent = [&](const std::string& file) {
+    for (const auto& e : plan.extents)
+      if (e.file == file) return &e;
+    AMRIO_ENSURES_MSG(false, "run_restart: no extent for " << file);
+    return static_cast<const staging::RestageExtent*>(nullptr);
+  };
+  auto validate_extent = [&](const staging::RestageExtent& e) {
+    AMRIO_EXPECTS_MSG(
+        backend.exists(e.file),
+        "run_restart: dump file missing (run the dump loop first): "
+            << e.file);
+    AMRIO_ENSURES_MSG(backend.size(e.file) == e.raw_bytes,
+                      "run_restart: " << e.file
+                                      << " drifted from the planned size");
+  };
+  auto fetch_extent = [&](const staging::RestageExtent& e) {
+    validate_extent(e);
+    // Accounting-only backends degrade to exact sizes of zero bytes — the
+    // same contract StagingBackend's accounting-mode drain keeps.
+    if (!contents) return std::vector<std::byte>(e.raw_bytes);
+    return backend.read(e.file);
+  };
+
+  // Byte path: recover this rank's task document.
+  std::vector<std::byte> doc;
+  if (aggregated) {
+    // Two-phase in reverse: the aggregator fetches the whole subfile, slices
+    // it at the planned offsets, re-encodes each member's document for the
+    // wire, and fans them back out over scatterv_group; every member decodes
+    // its own document — encoded bytes cross the link, raw bytes come back.
+    const int group = topo->group_of(rank);
+    const int agg = topo->aggregator_of_group(group);
+    const auto members = topo->members_of(group);
+    std::vector<std::vector<std::byte>> payloads;
+    if (rank == agg) {
+      const std::vector<std::byte> subfile = fetch_extent(*find_extent(mine.file));
+      payloads.reserve(members.size());
+      for (int r : members) {
+        const auto& s = plan.slices[static_cast<std::size_t>(r)];
+        const std::span<const std::byte> piece(subfile.data() + s.offset,
+                                               s.raw_bytes);
+        payloads.push_back(encoded ? cdc->encode(piece)
+                                   : std::vector<std::byte>(piece.begin(),
+                                                            piece.end()));
+      }
+    }
+    std::vector<std::byte> blob =
+        exec::scatterv_group(ctx, payloads, members, agg, kRestageTag);
+    doc = encoded ? cdc->decode(blob) : std::move(blob);
+  } else {
+    // Every rank reads its own byte range of its dump file (concurrent
+    // readers of a shared MIF-group/SIF file need no baton — nothing is
+    // mutated, and the ranged read keeps a 128-rank SIF restart from
+    // materializing the whole shared image once per rank).
+    validate_extent(*find_extent(mine.file));
+    doc = contents
+              ? backend.read_range(mine.file, mine.offset, mine.raw_bytes)
+              : std::vector<std::byte>(mine.raw_bytes);
+  }
+  AMRIO_ENSURES_MSG(doc.size() == mine.raw_bytes,
+                    "run_restart: recovered document size mismatch on rank "
+                        << rank);
+
+  if (trace != nullptr)
+    trace->record_read(dump, 0, rank, mine.file, mine.raw_bytes,
+                       encoded ? mine.encoded_bytes : 0, mine.decode_seconds,
+                       read_tier, aggregated ? topo->group_of(rank) : -1);
+
+  const auto all_bytes =
+      ctx.gather(static_cast<std::uint64_t>(doc.size()), 0);
+  const auto all_hash = ctx.gather(restart_hash(doc), 0);
+  ctx.barrier();
+
+  RestartStats stats;
+  if (rank == 0) {
+    stats.dump = dump;
+    stats.task_bytes = all_bytes;
+    stats.task_hash = all_hash;
+    stats.slices = plan.slices;
+    for (int r = 0; r < params.nprocs; ++r) {
+      AMRIO_ENSURES_MSG(
+          all_bytes[static_cast<std::size_t>(r)] ==
+              doc_bytes[static_cast<std::size_t>(r)],
+          "run_restart: read-back not byte-conserving on rank " << r);
+      stats.codec.add_decode(
+          dump, -1, cdc->plan(doc_bytes[static_cast<std::size_t>(r)]),
+          plan.slices[static_cast<std::size_t>(r)].decode_seconds);
+    }
+    stats.raw_bytes = plan.raw_bytes();
+    stats.encoded_bytes = plan.encoded_bytes();
+    stats.decode_gate = plan.decode_gate();
+    if (aggregated) {
+      // Concurrent groups: the slowest scatter gates the restart.
+      for (int g = 0; g < topo->ngroups(); ++g) {
+        const int agg = topo->aggregator_of_group(g);
+        std::uint64_t shipped = 0;
+        int nmessages = 0;
+        for (int r : topo->members_of(g)) {
+          if (r == agg) continue;
+          shipped += plan.slices[static_cast<std::size_t>(r)].encoded_bytes;
+          ++nmessages;
+        }
+        stats.scatter_seconds = std::max(
+            stats.scatter_seconds, staging::ship_cost(agg_cfg, shipped,
+                                                      nmessages));
+      }
+    }
+    stats.requests = plan.read_requests(0.0, params.restart_from_bb);
+    // Metadata read-back: the root document, and under aggregation the index
+    // locating every task document — always cold PFS reads (metadata never
+    // stages).
+    if (trace != nullptr)
+      for (const auto& req : stats.requests)
+        if (req.op == pfs::kOpPrefetch)
+          trace->record_prefetch(dump, 0, req.client, req.file, req.bytes,
+                                 req.tier,
+                                 aggregated ? topo->group_of(req.client) : -1);
+    auto read_meta = [&](const std::string& path) {
+      const std::uint64_t meta_bytes = backend.size(path);
+      stats.requests.push_back(pfs::IoRequest{0, 0.0, path, meta_bytes,
+                                              pfs::kTierPfs, pfs::kOpRead});
+      if (trace != nullptr)
+        trace->record_read(dump, -1, 0, path, meta_bytes, 0, 0.0,
+                           pfs::kTierPfs, -1);
+    };
+    read_meta(root_file_path(params, dump));
+    if (aggregated) read_meta(aggregated_index_path_for(params, *iface, dump));
+  }
+  ctx.barrier();
+  return stats;
+}
+
 }  // namespace
+
+std::uint64_t restart_hash(std::span<const std::byte> data) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const std::byte b : data) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+RestartStats run_restart(exec::Engine& engine, const Params& params,
+                         pfs::StorageBackend& backend,
+                         iostats::TraceRecorder* trace) {
+  RestartStats result;
+  engine.run([&](exec::RankCtx& ctx) {
+    RestartStats local = run_restart_rank(ctx, params, backend, trace);
+    if (ctx.rank() == 0) result = std::move(local);
+  });
+  return result;
+}
 
 DumpStats run_macsio(exec::Engine& engine, const Params& params,
                      pfs::StorageBackend& backend,

@@ -28,6 +28,7 @@
 /// construction.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "codec/stats.hpp"
@@ -38,6 +39,7 @@
 #include "pfs/backend.hpp"
 #include "pfs/simfs.hpp"
 #include "simmpi/comm.hpp"
+#include "staging/restage.hpp"
 
 namespace amrio::macsio {
 
@@ -71,6 +73,52 @@ struct DumpStats {
 DumpStats run_macsio(exec::Engine& engine, const Params& params,
                      pfs::StorageBackend& backend,
                      iostats::TraceRecorder* trace = nullptr);
+
+/// Checkpoint-restart read-back statistics — the write-side DumpStats in
+/// reverse. Byte-conserving by construction: `task_bytes` equals the written
+/// dump's per-rank document sizes, and in a content-storing backend every
+/// recovered document is byte-identical to what was written (`task_hash`).
+struct RestartStats {
+  int dump = -1;  ///< the dump that was read back (the last one written)
+  /// Per-rank decoded (raw) document bytes recovered.
+  std::vector<std::uint64_t> task_bytes;
+  /// Per-rank `restart_hash` of the recovered document — engines must agree,
+  /// and in store mode it equals the hash of the originally written bytes.
+  std::vector<std::uint64_t> task_hash;
+  std::uint64_t raw_bytes = 0;      ///< decoded restart image (task data)
+  std::uint64_t encoded_bytes = 0;  ///< fetched off the PFS/tier (task data)
+  /// Slowest per-rank decode cpu — gates solver resume (0 under identity).
+  double decode_gate = 0.0;
+  /// Aggregated restarts: slowest group's cost of fanning subfile bytes back
+  /// out over the interconnect (the gatherv ship in reverse).
+  double scatter_seconds = 0.0;
+  /// Per-rank read plan (file, offset, raw/encoded sizes, decode cpu).
+  std::vector<staging::RestageSlice> slices;
+  /// Restart read requests on the logical clock (submit 0): data fetches per
+  /// `staging::RestagePlan::read_requests` (cold PFS reads, or prefetch +
+  /// BB-read pairs under `--read_staging bb`), plus root/index metadata
+  /// reads. Feed to pfs::SimFs to time the restart.
+  std::vector<pfs::IoRequest> requests;
+  /// Decode-side codec ledger (encode_seconds stays 0 — the split that keeps
+  /// write-side reports honest).
+  codec::CodecStats codec;
+};
+
+/// Read the last written dump back through the staging/codec pipeline in
+/// reverse: aggregators fetch their subfile and fan the members' documents
+/// back out over `exec::scatterv_group` (encoded bytes cross the link, each
+/// member decodes its own document); unaggregated ranks read their own byte
+/// range of their dump file. Requires the dump files of
+/// `params.num_dumps - 1` to exist in `backend` (run the dump loop first).
+/// Works against accounting-only backends too: sizes and requests stay
+/// exact, contents degrade to zero bytes.
+RestartStats run_restart(exec::Engine& engine, const Params& params,
+                         pfs::StorageBackend& backend,
+                         iostats::TraceRecorder* trace = nullptr);
+
+/// Deterministic FNV-1a content hash used for `RestartStats::task_hash` —
+/// exposed so tests can hash expected documents with the same function.
+std::uint64_t restart_hash(std::span<const std::byte> data);
 
 /// Convenience: run on a fiber-scheduled SerialEngine sized params.nprocs.
 DumpStats run_macsio(const Params& params, pfs::StorageBackend& backend,

@@ -36,14 +36,16 @@ codec::CodecSpec Params::codec_spec() const {
   spec.name = codec;
   spec.error_bound = codec_error_bound;
   spec.throughput = codec_throughput;
+  spec.decode_throughput = codec_decode_throughput;
   return spec;
 }
 
 namespace {
 
-/// One home for every staging/codec knob range check, so the CLI rejects a
-/// bad --aggregators count, an unknown --codec name, or an out-of-range
-/// --codec_error_bound with the same one-line std::invalid_argument shape.
+/// One home for every staging/codec/restart knob range check, so the CLI
+/// rejects a bad --aggregators count, an unknown --codec name, an
+/// out-of-range --codec_error_bound, or a negative --prefetch with the same
+/// one-line std::invalid_argument shape.
 void check_staging_codec_knobs(const Params& p, bool aggregators_given) {
   if (aggregators_given && p.aggregators <= 0)
     throw std::invalid_argument(
@@ -57,6 +59,16 @@ void check_staging_codec_knobs(const Params& p, bool aggregators_given) {
     throw std::invalid_argument("macsio: --codec knobs: " +
                                 std::string(e.what()));
   }
+  if (p.prefetch_streams < 0)
+    throw std::invalid_argument(
+        "macsio: --prefetch must be >= 0 prefetch streams per node (got " +
+        std::to_string(p.prefetch_streams) + "; 0 = drain concurrency)");
+  if (p.prefetch_streams > 0 && !p.restart_from_bb)
+    throw std::invalid_argument(
+        "macsio: --prefetch only applies to '--read_staging bb' restarts");
+  if (p.restart_from_bb && !p.restart)
+    throw std::invalid_argument(
+        "macsio: '--read_staging bb' does nothing without --restart");
 }
 
 }  // namespace
@@ -91,6 +103,16 @@ Params Params::from_cli(const std::vector<std::string>& args) {
   cli.add_option("codec_throughput",
                  "modeled encode throughput (bytes/s); 0 = codec default", 1,
                  std::string("0"));
+  cli.add_option("codec_decode_throughput",
+                 "modeled decode throughput (bytes/s); 0 = codec default", 1,
+                 std::string("0"));
+  cli.add_flag("restart", "read the last dump back after the dump loop");
+  cli.add_option("read_staging", "restart read tier: none|bb", 1,
+                 std::string("none"));
+  cli.add_option("prefetch",
+                 "per-node prefetch streams for bb restarts; 0 = drain "
+                 "concurrency",
+                 1, std::string("0"));
   cli.add_option("nprocs", "virtual MPI tasks", 1, std::string("1"));
   cli.add_option("output_dir", "output directory", 1, std::string("macsio_out"));
   cli.add_option("fill", "value fill mode: sized|real", 1, std::string("sized"));
@@ -133,6 +155,14 @@ Params Params::from_cli(const std::vector<std::string>& args) {
   p.codec = util::to_lower(cli.get("codec"));
   p.codec_error_bound = cli.get_double("codec_error_bound");
   p.codec_throughput = cli.get_double("codec_throughput");
+  p.codec_decode_throughput = cli.get_double("codec_decode_throughput");
+  p.restart = cli.flag("restart");
+  const std::string read_staging = util::to_lower(cli.get("read_staging"));
+  if (read_staging == "bb") p.restart_from_bb = true;
+  else if (read_staging != "none")
+    throw std::invalid_argument("macsio: bad restart read tier '" +
+                                read_staging + "' (expected none|bb)");
+  p.prefetch_streams = static_cast<int>(cli.get_int("prefetch"));
   check_staging_codec_knobs(p, aggregators_given);
   p.nprocs = static_cast<int>(cli.get_int("nprocs"));
   p.output_dir = cli.get("output_dir");
@@ -176,7 +206,13 @@ std::vector<std::string> Params::to_cli() const {
     push("codec", codec);
     push("codec_error_bound", util::format_g(codec_error_bound, 17));
     push("codec_throughput", util::format_g(codec_throughput, 17));
+    push("codec_decode_throughput",
+         util::format_g(codec_decode_throughput, 17));
   }
+  if (restart) argv.push_back("--restart");
+  if (restart_from_bb) push("read_staging", "bb");
+  if (prefetch_streams > 0)
+    push("prefetch", std::to_string(prefetch_streams));
   push("nprocs", std::to_string(nprocs));
   push("output_dir", output_dir);
   push("fill", fill == FillMode::kSized ? "sized" : "real");
@@ -215,6 +251,13 @@ void Params::validate() const {
                     "--aggregators or MIF <n>, not both");
   AMRIO_EXPECTS_MSG(agg_link_bandwidth > 0,
                     "macsio: agg_link_bw must be > 0");
+  AMRIO_EXPECTS_MSG(prefetch_streams >= 0, "macsio: prefetch must be >= 0");
+  AMRIO_EXPECTS_MSG(prefetch_streams == 0 || restart_from_bb,
+                    "macsio: prefetch only applies to bb restart reads");
+  // mirror the CLI rejection so a validate()-clean Params always survives
+  // the to_cli()/from_cli() round trip
+  AMRIO_EXPECTS_MSG(!restart_from_bb || restart,
+                    "macsio: read_staging bb does nothing without restart");
   // single source of truth for the codec knob ranges: the codec registry
   try {
     codec::validate_spec(codec_spec());

@@ -64,8 +64,26 @@ struct Params {
   /// --codec_throughput: modeled encode throughput (bytes/sec); 0 = the
   /// codec's default.
   double codec_throughput = 0.0;
+  /// --codec_decode_throughput: modeled decode throughput (bytes/sec) for
+  /// the restart read path; 0 = the codec's default (decoders typically
+  /// outrun their encoders).
+  double codec_decode_throughput = 0.0;
 
-  /// The codec::CodecSpec equivalent of the three knobs above.
+  // restart subsystem (read-side staging: the dump pipeline in reverse)
+  /// --restart: after the dump loop, read the last dump back — every rank
+  /// recovers its task document byte-identically (aggregators fan subfile
+  /// bytes back out to their group; under a codec the fetched bytes are
+  /// encoded and each rank pays the modeled decode cpu before "resuming").
+  bool restart = false;
+  /// --read_staging bb: serve restart reads through the burst-buffer tier —
+  /// extents are prefetched OST→node (`pfs::kOpPrefetch`) and then read
+  /// node-locally; `none` (default) = cold direct PFS reads.
+  bool restart_from_bb = false;
+  /// --prefetch: per-node OST→node prefetch stream bound used when timing
+  /// `--read_staging bb` restarts (0 = the tier's drain_concurrency).
+  int prefetch_streams = 0;
+
+  /// The codec::CodecSpec equivalent of the codec knobs above.
   codec::CodecSpec codec_spec() const;
 
   // run context (what jsrun provided in the paper's Listing 1)
@@ -81,7 +99,8 @@ struct Params {
   ///   --compute_time 0.5 --meta_size 4K --dataset_growth 1.013
   ///   --aggregators 8 --agg_link_bw 1.25e10 --staging none|bb
   ///   --codec identity|lossless|ebl --codec_error_bound 1e-3
-  ///   --codec_throughput 3e9
+  ///   --codec_throughput 3e9 --codec_decode_throughput 6e9
+  ///   --restart --read_staging none|bb --prefetch 4
   ///   --nprocs N --output_dir path --fill real|sized --seed S
   /// Throws std::invalid_argument on unknown/malformed arguments.
   static Params from_cli(const std::vector<std::string>& args);

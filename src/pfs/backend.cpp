@@ -19,6 +19,17 @@ std::uint64_t StorageBackend::total_bytes() const {
 
 std::uint64_t StorageBackend::file_count() const { return list("").size(); }
 
+std::vector<std::byte> StorageBackend::read_range(const std::string& path,
+                                                  std::uint64_t offset,
+                                                  std::uint64_t length) const {
+  const std::vector<std::byte> all = read(path);
+  if (offset + length > all.size() || offset + length < offset)
+    throw std::runtime_error("read_range: range past end of " + path);
+  return std::vector<std::byte>(
+      all.begin() + static_cast<std::ptrdiff_t>(offset),
+      all.begin() + static_cast<std::ptrdiff_t>(offset + length));
+}
+
 // ---------------------------------------------------------------- Memory
 
 MemoryBackend::PathShard& MemoryBackend::path_shard(
@@ -108,6 +119,28 @@ std::vector<std::byte> MemoryBackend::read(const std::string& path) const {
         "MemoryBackend::read: contents not retained (counting mode): " + path);
   std::lock_guard<std::mutex> content_lock(it->second.content_mu);
   return it->second.contents;
+}
+
+std::vector<std::byte> MemoryBackend::read_range(const std::string& path,
+                                                 std::uint64_t offset,
+                                                 std::uint64_t length) const {
+  PathShard& shard = path_shard(path);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.files.find(path);
+  if (it == shard.files.end())
+    throw std::runtime_error("MemoryBackend::read_range: no such file " + path);
+  if (!store_contents_ && it->second.bytes.load(std::memory_order_relaxed) > 0)
+    throw std::runtime_error(
+        "MemoryBackend::read_range: contents not retained (counting mode): " +
+        path);
+  std::lock_guard<std::mutex> content_lock(it->second.content_mu);
+  const auto& contents = it->second.contents;
+  if (offset + length > contents.size() || offset + length < offset)
+    throw std::runtime_error("MemoryBackend::read_range: range past end of " +
+                             path);
+  return std::vector<std::byte>(
+      contents.begin() + static_cast<std::ptrdiff_t>(offset),
+      contents.begin() + static_cast<std::ptrdiff_t>(offset + length));
 }
 
 std::uint64_t MemoryBackend::total_bytes() const {
@@ -231,6 +264,29 @@ std::vector<std::byte> PosixBackend::read(const std::string& path) const {
   std::size_t n = 0;
   while ((n = std::fread(buf, 1, sizeof(buf), f.get())) > 0)
     out.insert(out.end(), buf, buf + n);
+  return out;
+}
+
+std::vector<std::byte> PosixBackend::read_range(const std::string& path,
+                                                std::uint64_t offset,
+                                                std::uint64_t length) const {
+  const std::string full = full_path(path);
+  if (offset + length > util::file_size(full) || offset + length < offset)
+    throw std::runtime_error("PosixBackend::read_range: range past end of " +
+                             full);
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(full.c_str(), "rb"), &std::fclose);
+  if (!f)
+    throw std::runtime_error("PosixBackend::read_range: cannot open " + full);
+  // fseeko, not fseek: a long offset truncates past 2 GiB where long is
+  // 32 bits, silently seeking the wrong bytes of a large shared dump file
+  if (fseeko(f.get(), static_cast<off_t>(offset), SEEK_SET) != 0)
+    throw std::runtime_error("PosixBackend::read_range: cannot seek in " +
+                             full);
+  std::vector<std::byte> out(length);
+  if (std::fread(out.data(), 1, length, f.get()) != length)
+    throw std::runtime_error("PosixBackend::read_range: short read from " +
+                             full);
   return out;
 }
 

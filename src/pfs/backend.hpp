@@ -136,11 +136,25 @@ class StorageBackend {
   /// Full contents. Throws std::runtime_error when absent or (for the memory
   /// backend in counting mode) when contents were not retained.
   virtual std::vector<std::byte> read(const std::string& path) const = 0;
+  /// Contents of [offset, offset + length). The default reads the whole file
+  /// and slices; MemoryBackend/PosixBackend override with real ranged reads
+  /// so a restart rank slicing its own byte range out of a shared dump file
+  /// does not materialize the entire file. Throws std::runtime_error when
+  /// the range exceeds the file (and whenever `read` would throw).
+  virtual std::vector<std::byte> read_range(const std::string& path,
+                                            std::uint64_t offset,
+                                            std::uint64_t length) const;
 
   /// Total bytes across all files (accounting convenience).
   virtual std::uint64_t total_bytes() const;
   /// Number of files.
   virtual std::uint64_t file_count() const;
+
+  /// Whether `read` returns real file contents. False for accounting-only
+  /// stores (MemoryBackend counting mode) — readers that can degrade (the
+  /// restart path replays exact sizes as zero bytes) probe this instead of
+  /// catching the read error.
+  virtual bool stores_contents() const { return true; }
 };
 
 /// In-memory backend. With `store_contents=false` it keeps only byte counts
@@ -165,11 +179,14 @@ class MemoryBackend final : public StorageBackend {
   std::uint64_t size(const std::string& path) const override;
   std::vector<std::string> list(const std::string& prefix) const override;
   std::vector<std::byte> read(const std::string& path) const override;
+  std::vector<std::byte> read_range(const std::string& path,
+                                    std::uint64_t offset,
+                                    std::uint64_t length) const override;
 
   std::uint64_t total_bytes() const override;
   std::uint64_t file_count() const override;
 
-  bool stores_contents() const { return store_contents_; }
+  bool stores_contents() const override { return store_contents_; }
 
  private:
   static constexpr std::size_t kPathShards = 64;
@@ -211,6 +228,9 @@ class PosixBackend final : public StorageBackend {
   std::uint64_t size(const std::string& path) const override;
   std::vector<std::string> list(const std::string& prefix) const override;
   std::vector<std::byte> read(const std::string& path) const override;
+  std::vector<std::byte> read_range(const std::string& path,
+                                    std::uint64_t offset,
+                                    std::uint64_t length) const override;
 
   const std::string& root() const { return root_; }
 

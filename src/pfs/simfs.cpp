@@ -37,6 +37,10 @@ SimFs::SimFs(SimFsConfig cfg) : cfg_(cfg) {
                       "SimFs: bb bandwidths must be > 0");
     AMRIO_EXPECTS_MSG(cfg_.bb.drain_concurrency >= 1,
                       "SimFs: bb.drain_concurrency must be >= 1");
+    AMRIO_EXPECTS_MSG(cfg_.bb.read_bandwidth > 0,
+                      "SimFs: bb.read_bandwidth must be > 0");
+    AMRIO_EXPECTS_MSG(cfg_.bb.prefetch_concurrency >= 0,
+                      "SimFs: bb.prefetch_concurrency must be >= 0");
   }
 }
 
@@ -51,9 +55,11 @@ int SimFs::node_of(int client) const {
 }
 
 std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests) {
-  // Request state while streaming chunks onto the OST layer. Both direct
-  // writes and burst-buffer drains become flights; they differ only in the
-  // client-side rate cap and in what happens at completion.
+  // Request state while streaming chunks over the OST layer. Direct writes,
+  // direct reads, burst-buffer drains, and prefetches all become flights;
+  // they differ only in the client-side rate cap and in what happens at
+  // completion (reads simply transfer in the other direction — the OST FIFOs
+  // are shared either way).
   struct Flight {
     std::size_t index;          // into requests/results
     std::uint64_t remaining;    // data bytes not yet committed
@@ -62,7 +68,8 @@ std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests) {
     double ready = 0.0;         // client-side time the next chunk can issue
     double rate = 0.0;          // client/drain-stream bandwidth cap
     bool is_drain = false;
-    int node = 0;               // BB node (drains only)
+    bool is_prefetch = false;
+    int node = 0;               // BB node (drains/prefetches only)
   };
 
   std::vector<IoResult> results(requests.size());
@@ -86,12 +93,19 @@ std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests) {
 
   const bool bb_on = cfg_.bb.enabled;
 
-  // Phase 2 state: one event queue drives absorbs, drain-stream starts, and
-  // OST chunk issues. Kind order at equal times: chunks first (so a drain
-  // completion frees capacity before a stalled absorb re-tries), then drain
-  // starts, then absorb tries; seq (push order) makes everything FIFO and
-  // deterministic.
-  enum EvKind { kChunk = 0, kDrainStart = 1, kAbsorbTry = 2 };
+  // Phase 2 state: one event queue drives absorbs, drain/prefetch stream
+  // starts, node-local reads, and OST chunk issues. Kind order at equal
+  // times: chunks first (so a drain completion frees capacity before a
+  // stalled absorb re-tries, and a prefetch completion lands before the read
+  // it wakes), then stream starts, then absorb tries, then BB reads; seq
+  // (push order) makes everything FIFO and deterministic.
+  enum EvKind {
+    kChunk = 0,
+    kDrainStart = 1,
+    kPrefetchStart = 2,
+    kAbsorbTry = 3,
+    kBbRead = 4
+  };
   struct Event {
     double time;
     int kind;
@@ -110,26 +124,68 @@ std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests) {
 
   struct Node {
     double ingest_free = 0.0;       // absorb server is FIFO per node
-    std::uint64_t occupancy = 0;    // staged bytes not yet drained
+    double read_free = 0.0;         // node-local read server is FIFO per node
+    std::uint64_t occupancy = 0;    // staged bytes not yet drained/consumed
     // free times of the node's currently idle drain streams (min-heap);
     // size + running drains == drain_concurrency at all times
     std::priority_queue<double, std::vector<double>, std::greater<double>> slots;
-    std::deque<std::size_t> pending_drains;  // absorbed, all streams busy
-    std::vector<std::size_t> waiting;  // capacity-stalled absorbs, FIFO
+    int idle_prefetch_streams = 0;  // prefetch stream pool (OST→node)
+    std::deque<std::size_t> pending_drains;     // absorbed, all streams busy
+    std::deque<std::size_t> pending_prefetch;   // admitted, all streams busy
+    std::vector<std::size_t> waiting;  // capacity-stalled absorbs/prefetches
   };
   std::vector<Node> nodes;
+  const int prefetch_streams = cfg_.bb.prefetch_concurrency > 0
+                                   ? cfg_.bb.prefetch_concurrency
+                                   : cfg_.bb.drain_concurrency;
   if (bb_on) {
     nodes.resize(static_cast<std::size_t>(cfg_.bb.nodes));
-    for (auto& nd : nodes)
+    for (auto& nd : nodes) {
       for (int s = 0; s < cfg_.bb.drain_concurrency; ++s) nd.slots.push(0.0);
+      nd.idle_prefetch_streams = prefetch_streams;
+    }
+  }
+
+  // A BB-tier read of a (node, file) this batch also prefetches must wait
+  // until enough of that key's bytes are resident: several ranks may each
+  // prefetch their slice of one shared dump file, and a read consumes (and
+  // evicts) its own size from the staged pool in FIFO order — so reads
+  // interleave with prefetch waves instead of deadlocking when the staging
+  // area cannot hold the whole image at once. Keys are deterministic (node
+  // id + file name); per-key state counts outstanding prefetches and tracks
+  // the staged-byte pool with the time it last grew.
+  auto bb_key = [this](const IoRequest& req) {
+    return std::to_string(node_of(req.client)) + '|' + req.file;
+  };
+  struct PrefetchState {
+    int pending = 0;             // prefetches of this key not yet complete
+    std::uint64_t resident = 0;  // staged bytes not yet consumed by reads
+    double resident_time = 0.0;  // latest completion that grew `resident`
+  };
+  std::map<std::string, PrefetchState> prefetch_state;
+  std::map<std::string, std::vector<std::size_t>> read_waiters;
+  if (bb_on) {
+    for (const auto& req : requests)
+      if (req.op == kOpPrefetch && req.bytes > 0)
+        ++prefetch_state[bb_key(req)].pending;
   }
 
   double mds_free = 0.0;
   for (std::size_t idx : order) {
     const IoRequest& req = requests[idx];
     AMRIO_EXPECTS(req.client >= 0);
-    const bool staged = bb_on && req.tier == kTierBurstBuffer;
-    if (staged && cfg_.bb.capacity > 0)
+    AMRIO_EXPECTS_MSG(req.op == kOpWrite || req.op == kOpRead ||
+                          req.op == kOpPrefetch,
+                      "SimFs: unknown request op");
+    // Which path serves this request? With the BB tier disabled, every tag
+    // collapses onto the direct PFS path (reads and prefetches become cold
+    // OST fetches, staged writes direct writes).
+    const bool staged = bb_on && req.op == kOpWrite &&
+                        req.tier == kTierBurstBuffer;
+    const bool prefetch = bb_on && req.op == kOpPrefetch;
+    const bool bb_read = bb_on && req.op == kOpRead &&
+                         req.tier == kTierBurstBuffer;
+    if ((staged || prefetch) && cfg_.bb.capacity > 0)
       AMRIO_EXPECTS_MSG(req.bytes <= cfg_.bb.capacity,
                         "SimFs: staged request larger than bb.capacity can "
                         "never be absorbed");
@@ -139,15 +195,20 @@ std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests) {
     IoResult& res = results[idx];
     res.open_start = open_start;
     res.open_end = open_end;
-    res.end = open_end;  // zero-byte files end at create
+    res.end = open_end;  // zero-byte files end at create/open
     res.pfs_end = open_end;
     res.bytes = req.bytes;
-    res.tier = staged ? kTierBurstBuffer : kTierPfs;
+    res.op = req.op;
+    res.tier = (staged || prefetch || bb_read) ? kTierBurstBuffer : kTierPfs;
     res.first_ost = static_cast<int>(
         fnv1a(req.file) % static_cast<std::uint64_t>(cfg_.n_ost));
     if (req.bytes == 0) continue;
     if (staged) {
       pq.push({open_end, kAbsorbTry, seq++, idx});
+    } else if (prefetch) {
+      pq.push({open_end, kPrefetchStart, seq++, idx});
+    } else if (bb_read) {
+      pq.push({open_end, kBbRead, seq++, idx});
     } else {
       Flight fl;
       fl.index = idx;
@@ -166,9 +227,89 @@ std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests) {
   // noise on does not change mean service time.
   const double mu = -0.5 * cfg_.variability_sigma * cfg_.variability_sigma;
 
+  // Re-try events for capacity-stalled requests: absorbs and prefetches share
+  // the per-node waiting list, each re-entering through its own handler.
+  auto wake_waiting = [&](Node& nd, double when) {
+    for (std::size_t w : nd.waiting)
+      pq.push({when,
+               requests[w].op == kOpPrefetch ? static_cast<int>(kPrefetchStart)
+                                             : static_cast<int>(kAbsorbTry),
+               seq++, w});
+    nd.waiting.clear();
+  };
+
   while (!pq.empty()) {
     const Event ev = pq.top();
     pq.pop();
+
+    if (ev.kind == kPrefetchStart) {
+      const std::size_t idx = ev.id;
+      const IoRequest& req = requests[idx];
+      const int node = node_of(req.client);
+      Node& nd = nodes[static_cast<std::size_t>(node)];
+      if (cfg_.bb.capacity > 0 &&
+          nd.occupancy + req.bytes > cfg_.bb.capacity) {
+        nd.waiting.push_back(idx);  // woken when a drain/read frees space
+        continue;
+      }
+      nd.occupancy += req.bytes;  // reserve staging space for the extent
+      if (nd.idle_prefetch_streams == 0) {  // all streams busy: queue FIFO
+        nd.pending_prefetch.push_back(idx);
+        continue;
+      }
+      --nd.idle_prefetch_streams;
+      Flight fl;
+      fl.index = idx;
+      fl.remaining = req.bytes;
+      fl.first_ost = results[idx].first_ost;
+      fl.ready = ev.time;
+      fl.rate = cfg_.bb.drain_bandwidth;
+      fl.is_prefetch = true;
+      fl.node = node;
+      flights.push_back(fl);
+      pq.push({fl.ready, kChunk, seq++, flights.size() - 1});
+      continue;
+    }
+
+    if (ev.kind == kBbRead) {
+      const std::size_t idx = ev.id;
+      const IoRequest& req = requests[idx];
+      const std::string key = bb_key(req);
+      const auto pf = prefetch_state.find(key);
+      double start = ev.time;
+      if (pf != prefetch_state.end()) {
+        PrefetchState& st = pf->second;
+        if (st.pending > 0 && st.resident < req.bytes) {
+          // Not enough of this key staged yet, more on the way: wait. Every
+          // completion of the key wakes the waiters to re-check (FIFO), so
+          // reads drain the pool between prefetch waves.
+          read_waiters[key].push_back(idx);
+          continue;
+        }
+        // Completions may already be *booked* (their last chunks were
+        // issued) but lie in the future — the read still cannot start
+        // before the bytes it consumes are resident.
+        start = std::max(start, st.resident_time);
+      }
+      Node& nd = nodes[static_cast<std::size_t>(node_of(req.client))];
+      start = std::max(start, nd.read_free);  // node read server is FIFO
+      const double read_end =
+          start + static_cast<double>(req.bytes) / cfg_.bb.read_bandwidth;
+      nd.read_free = read_end;
+      results[idx].end = read_end;
+      results[idx].pfs_end = read_end;
+      // The solver owns the extent now: evict what this key's prefetches
+      // actually staged (never other requests' reservations — a BB read
+      // with no prefetch in the batch frees nothing) and wake anything
+      // stalled on capacity.
+      if (pf != prefetch_state.end()) {
+        const std::uint64_t freed = std::min(pf->second.resident, req.bytes);
+        pf->second.resident -= freed;
+        nd.occupancy -= freed;
+        if (freed > 0) wake_waiting(nd, read_end);
+      }
+      continue;
+    }
 
     if (ev.kind == kAbsorbTry) {
       const std::size_t idx = ev.id;
@@ -240,12 +381,53 @@ std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests) {
     }
     IoResult& res = results[fl.index];
     res.pfs_end = end;
+    if (fl.is_prefetch) {
+      // Prefetch complete: the extent is resident node-local. Release the
+      // stream to the next queued prefetch and wake reads gated on this
+      // (node, file). Copy what we need first: starting the next prefetch
+      // grows `flights` and would invalidate `fl`.
+      const std::size_t done_index = fl.index;
+      const int node_id = fl.node;
+      res.end = end;
+      Node& nd = nodes[static_cast<std::size_t>(node_id)];
+      ++nd.idle_prefetch_streams;
+      if (!nd.pending_prefetch.empty()) {
+        const std::size_t next = nd.pending_prefetch.front();
+        nd.pending_prefetch.pop_front();
+        --nd.idle_prefetch_streams;
+        Flight pf;
+        pf.index = next;
+        pf.remaining = requests[next].bytes;
+        pf.first_ost = results[next].first_ost;
+        pf.ready = end;
+        pf.rate = cfg_.bb.drain_bandwidth;
+        pf.is_prefetch = true;
+        pf.node = node_id;
+        flights.push_back(pf);
+        pq.push({end, kChunk, seq++, flights.size() - 1});
+      }
+      const std::string key = bb_key(requests[done_index]);
+      PrefetchState& st = prefetch_state[key];
+      --st.pending;
+      st.resident += requests[done_index].bytes;
+      st.resident_time = std::max(st.resident_time, end);
+      // Wake the key's waiting reads to re-check the pool — unsatisfied
+      // ones re-register, satisfied ones consume in FIFO order.
+      const auto waiters = read_waiters.find(key);
+      if (waiters != read_waiters.end()) {
+        std::vector<std::size_t> woken = std::move(waiters->second);
+        read_waiters.erase(waiters);
+        for (std::size_t w : woken) pq.push({end, kBbRead, seq++, w});
+      }
+      continue;
+    }
     if (!fl.is_drain) {
       res.end = end;
       continue;
     }
     // Drain complete: free staging space and the stream, hand the stream to
-    // the next absorbed-but-undrained request, wake stalled absorbs.
+    // the next absorbed-but-undrained request, wake stalled
+    // absorbs/prefetches.
     Node& nd = nodes[static_cast<std::size_t>(fl.node)];
     nd.occupancy -= res.bytes;
     nd.slots.push(end);
@@ -254,8 +436,22 @@ std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests) {
       nd.pending_drains.pop_front();
       pq.push({end, kDrainStart, seq++, next});
     }
-    for (std::size_t w : nd.waiting) pq.push({end, kAbsorbTry, seq++, w});
-    nd.waiting.clear();
+    wake_waiting(nd, end);
+  }
+
+  // A batch must drain completely: anything still parked here means the BB
+  // tier can never serve it (e.g. prefetches whose combined reservation
+  // exceeds capacity with no reads to evict between waves) — fail loudly
+  // rather than return those requests as instantaneously complete.
+  if (bb_on) {
+    bool stalled = !read_waiters.empty();
+    for (const auto& nd : nodes)
+      stalled = stalled || !nd.waiting.empty() || !nd.pending_prefetch.empty() ||
+                !nd.pending_drains.empty();
+    AMRIO_ENSURES_MSG(!stalled,
+                      "SimFs: batch ended with capacity-stalled or gated "
+                      "requests the bb tier can never serve — raise "
+                      "bb.capacity or interleave reads with the prefetches");
   }
 
   return results;

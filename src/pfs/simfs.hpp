@@ -31,6 +31,33 @@
 /// (`IoResult::pfs_end` is when the bytes are durable on the PFS). A bounded
 /// per-node `capacity` makes absorbs stall until earlier drains free space —
 /// the classic BB-capacity-induced perceived-bandwidth collapse.
+///
+/// Read side (checkpoint restart): requests carry an `op` —
+///  * `kOpRead` + `kTierPfs`: a cold fetch off the OSTs. Chunks stream over
+///    the file's stripe set through the same contention timeline writes use
+///    (reads and writes share the OST FIFOs), capped by the client NIC;
+///    submit-time ties obey the same documented (client, file) order.
+///  * `kOpPrefetch` (+ BB tier enabled): the drain in reverse — an OST→node
+///    transfer at `drain_bandwidth` per stream, bounded by
+///    `prefetch_concurrency` streams per node, reserving staging `capacity`
+///    on start. `end`/`pfs_end` is when the extent is resident node-local.
+///  * `kOpRead` + `kTierBurstBuffer`: a node-local fetch of a prefetched
+///    extent at `read_bandwidth` (FIFO per node, no NIC/OST crossing). If
+///    the same batch prefetches the same (node, file) — possibly several
+///    times, one per rank slice of a shared dump file — a read waits until
+///    that key's staged pool holds at least its size (reads consume in
+///    FIFO order, so they interleave with prefetch waves when `capacity`
+///    cannot hold the whole image at once). Completing the read *evicts*
+///    up to its size of the bytes those prefetches staged (never other
+///    requests' reservations), freeing capacity for stalled
+///    absorbs/prefetches; a BB-tier read with no prefetch in the batch
+///    frees nothing. A batch the tier can never drain (e.g. prefetch
+///    reservations over capacity with no reads to evict between waves)
+///    fails loudly with a ContractViolation instead of returning stalled
+///    requests as complete.
+/// With the BB tier disabled, reads and prefetches tagged for it are served
+/// as direct PFS reads — one tagged workload replays against both setups,
+/// exactly like the write path.
 
 #include <cstdint>
 #include <string>
@@ -41,6 +68,11 @@ namespace amrio::pfs {
 /// Request/result tier tags.
 inline constexpr int kTierPfs = 0;
 inline constexpr int kTierBurstBuffer = 1;
+
+/// Request/result operation tags.
+inline constexpr int kOpWrite = 0;
+inline constexpr int kOpRead = 1;
+inline constexpr int kOpPrefetch = 2;
 
 /// Burst-buffer staging tier configuration (per-node semantics). Disabled by
 /// default: tier tags on requests are then ignored and everything goes
@@ -57,6 +89,12 @@ struct TierConfig {
   double drain_bandwidth = 2.0e9;   ///< bytes/sec per drain stream (to OSTs)
   std::uint64_t capacity = 0;       ///< bytes per node staging area; 0 = unbounded
   int drain_concurrency = 2;        ///< concurrent drain streams per node
+  /// bytes/sec node-local read rate for BB-resident extents (kOpRead on the
+  /// BB tier). Like absorbs, these never cross the client NIC.
+  double read_bandwidth = 10.0e9;
+  /// Concurrent OST→node prefetch streams per node (each at
+  /// `drain_bandwidth`); 0 = use `drain_concurrency`.
+  int prefetch_concurrency = 0;
 };
 
 struct SimFsConfig {
@@ -84,6 +122,10 @@ struct IoRequest {
   /// a request attribute: a SimFs without an enabled BB tier serves tagged
   /// requests directly, so one tagged workload replays against both setups.
   int tier = kTierPfs;
+  /// kOpWrite (default), kOpRead (fetch `bytes` — encoded sizes for workloads
+  /// with a codec stage, decode cpu accounted upstream), or kOpPrefetch
+  /// (OST→BB staging of `bytes` ahead of BB-tier reads).
+  int op = kOpWrite;
 };
 
 struct IoResult {
@@ -95,6 +137,7 @@ struct IoResult {
   double pfs_end = 0.0;
   int first_ost = 0;        ///< first OST of the stripe set
   int tier = kTierPfs;      ///< tier the request was actually served on
+  int op = kOpWrite;        ///< operation the request carried
   std::uint64_t bytes = 0;
   double duration() const { return end - open_start; }
   /// Effective (perceived) bandwidth seen by this request (bytes/sec).

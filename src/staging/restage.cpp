@@ -1,0 +1,112 @@
+#include "staging/restage.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace amrio::staging {
+
+std::uint64_t RestagePlan::raw_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& e : extents) total += e.raw_bytes;
+  return total;
+}
+
+std::uint64_t RestagePlan::encoded_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& e : extents) total += e.encoded_bytes;
+  return total;
+}
+
+double RestagePlan::decode_gate() const {
+  double gate = 0.0;
+  for (const auto& s : slices) gate = std::max(gate, s.decode_seconds);
+  return gate;
+}
+
+std::vector<pfs::IoRequest> RestagePlan::read_requests(double clock,
+                                                       bool prefetch) const {
+  std::vector<pfs::IoRequest> reqs;
+  // Fetch units: whole extents when an aggregator pulls for its group, the
+  // rank's own slice otherwise.
+  struct Fetch {
+    int client;
+    const std::string* file;
+    std::uint64_t bytes;
+  };
+  std::vector<Fetch> fetches;
+  if (aggregated_) {
+    fetches.reserve(extents.size());
+    for (const auto& e : extents)
+      fetches.push_back({e.reader, &e.file, e.encoded_bytes});
+  } else {
+    fetches.reserve(slices.size());
+    for (const auto& s : slices)
+      fetches.push_back({s.rank, &s.file, s.encoded_bytes});
+  }
+  reqs.reserve(fetches.size() * (prefetch ? 2 : 1));
+  for (const auto& f : fetches) {
+    if (prefetch)
+      reqs.push_back(pfs::IoRequest{f.client, clock, *f.file, f.bytes,
+                                    pfs::kTierBurstBuffer, pfs::kOpPrefetch});
+    reqs.push_back(pfs::IoRequest{
+        f.client, clock, *f.file, f.bytes,
+        prefetch ? pfs::kTierBurstBuffer : pfs::kTierPfs, pfs::kOpRead});
+  }
+  return reqs;
+}
+
+RestagePlan make_restage_plan(const std::vector<std::string>& files,
+                              const std::vector<std::uint64_t>& raw_bytes,
+                              const codec::Codec& codec,
+                              const AggTopology* topo) {
+  AMRIO_EXPECTS_MSG(files.size() == raw_bytes.size(),
+                    "make_restage_plan: one file and one size per rank");
+  AMRIO_EXPECTS_MSG(!files.empty(), "make_restage_plan: no ranks");
+  if (topo != nullptr)
+    AMRIO_EXPECTS_MSG(topo->nranks() == static_cast<int>(files.size()),
+                      "make_restage_plan: topology rank count mismatch");
+
+  RestagePlan plan;
+  plan.aggregated_ = topo != nullptr;
+  plan.slices.reserve(files.size());
+  for (int r = 0; r < static_cast<int>(files.size()); ++r) {
+    const std::string& file = files[static_cast<std::size_t>(r)];
+    const std::uint64_t raw = raw_bytes[static_cast<std::size_t>(r)];
+    const bool continues =
+        !plan.extents.empty() && plan.extents.back().file == file;
+    // Ranks sharing a file must be contiguous: a file seen before the
+    // previous rank's cannot reappear.
+    if (!continues)
+      for (const auto& e : plan.extents)
+        AMRIO_EXPECTS_MSG(e.file != file,
+                          "make_restage_plan: ranks of a shared file must be "
+                          "contiguous");
+    if (!continues) {
+      RestageExtent extent;
+      extent.file = file;
+      extent.reader = topo != nullptr ? topo->aggregator_of(r) : r;
+      plan.extents.push_back(std::move(extent));
+      if (topo != nullptr)
+        AMRIO_EXPECTS_MSG(plan.extents.back().reader == r,
+                          "make_restage_plan: a subfile must start at its "
+                          "group's aggregator");
+    }
+    RestageExtent& extent = plan.extents.back();
+    const codec::CompressResult enc = codec.plan(raw);
+    RestageSlice slice;
+    slice.rank = r;
+    slice.file = file;
+    slice.offset = extent.raw_bytes;
+    slice.raw_bytes = raw;
+    slice.encoded_bytes = enc.out_bytes;
+    slice.decode_seconds = codec.decode_seconds(raw);
+    extent.raw_bytes += raw;
+    extent.encoded_bytes += enc.out_bytes;
+    ++extent.nslices;
+    plan.slices.push_back(std::move(slice));
+  }
+  return plan;
+}
+
+}  // namespace amrio::staging

@@ -93,7 +93,7 @@ class StagingBackend final : public pfs::StorageBackend {
   std::vector<pfs::IoRequest> drain_requests(double clock, int client) const;
 
   pfs::StorageBackend& final_store() { return *final_; }
-  bool stores_contents() const { return store_contents_; }
+  bool stores_contents() const override { return store_contents_; }
   const codec::Codec& codec() const { return *codec_; }
   /// Cumulative codec accounting over every drained file (raw vs encoded
   /// bytes, modeled cpu; dump/level unattributed).

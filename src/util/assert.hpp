@@ -57,3 +57,14 @@ namespace detail {
       ::amrio::detail::contract_fail("Postcondition", #cond, __FILE__, __LINE__, \
                                      "");                                        \
   } while (0)
+
+/// Postcondition check with a context message (streamed, e.g. `"n=" << n`).
+#define AMRIO_ENSURES_MSG(cond, msg)                                             \
+  do {                                                                           \
+    if (!(cond)) {                                                               \
+      std::ostringstream os_;                                                    \
+      os_ << msg;                                                                \
+      ::amrio::detail::contract_fail("Postcondition", #cond, __FILE__, __LINE__, \
+                                     os_.str());                                 \
+    }                                                                            \
+  } while (0)

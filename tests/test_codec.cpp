@@ -279,7 +279,7 @@ TEST_P(CodecMacsio, IdentityIsByteIdenticalToUncodedStaging) {
   }
   // identity accounting: encoded == raw, zero cpu, submit on the raw clock
   EXPECT_EQ(stats.codec.total.encoded_bytes, stats.codec.total.raw_bytes);
-  EXPECT_DOUBLE_EQ(stats.codec.total.cpu_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(stats.codec.total.cpu_seconds(), 0.0);
   const st::AggregationConfig agg_cfg{params.aggregators,
                                       params.agg_link_bandwidth, 1.0e-6};
   for (const auto& req : stats.requests) {
@@ -365,7 +365,8 @@ TEST_P(CodecMacsio, RawAccountingConservedWhileWireAndTierShrink) {
   EXPECT_EQ(stats.codec.total.raw_bytes, raw_total);
   EXPECT_EQ(stats.codec.total.encoded_bytes, encoded_total);
   EXPECT_LT(stats.codec.total.encoded_bytes, stats.codec.total.raw_bytes);
-  EXPECT_GT(stats.codec.total.cpu_seconds, 0.0);
+  EXPECT_GT(stats.codec.total.encode_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(stats.codec.total.decode_seconds, 0.0);  // write side only
   EXPECT_EQ(stats.codec.total.chunks,
             static_cast<std::uint64_t>(params.nprocs * params.num_dumps));
 
@@ -597,8 +598,8 @@ TEST_P(CodecPlotfile, PinnedSmoothnessKeepsPredictParity) {
   EXPECT_EQ(predicted.codec.total.encoded_bytes,
             written.codec.total.encoded_bytes);
   EXPECT_EQ(predicted.codec.total.chunks, written.codec.total.chunks);
-  EXPECT_NEAR(predicted.codec.total.cpu_seconds,
-              written.codec.total.cpu_seconds, 1e-6);
+  EXPECT_NEAR(predicted.codec.total.encode_seconds,
+              written.codec.total.encode_seconds, 1e-6);
   EXPECT_GT(written.codec.total.encoded_bytes, 0u);
   EXPECT_LT(written.codec.total.encoded_bytes, written.codec.total.raw_bytes);
 
