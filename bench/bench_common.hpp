@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/engine.hpp"
 #include "pfs/simfs.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -20,10 +21,18 @@ struct BenchContext {
   bool full = false;       ///< --full: run closer to paper scale
   double scale = 0.0;      ///< explicit --scale overrides presets
   std::string out_dir = "bench_results";
+  /// --engine: execution engine for any proxy replays the bench performs
+  /// (serial | spmd | event). Serial matches historical bench behavior;
+  /// event unlocks machine-scale rank counts.
+  exec::EngineKind engine = exec::EngineKind::kSerial;
 
   double pick_scale(double dflt, double full_scale) const {
     if (scale > 0.0) return scale;
     return full ? full_scale : dflt;
+  }
+
+  std::unique_ptr<exec::Engine> make_engine(int nranks) const {
+    return exec::make_engine(engine, nranks);
   }
 };
 
@@ -35,6 +44,8 @@ inline BenchContext parse_bench_args(int argc, char** argv,
   cli.add_option("scale", "explicit mesh scale in (0,1]", 1);
   cli.add_option("out", "output directory for CSV", 1,
                  std::string("bench_results"));
+  cli.add_option("engine", "execution engine: serial | spmd | event", 1,
+                 std::string("serial"));
   cli.add_flag("help", "show usage");
   cli.parse(argc, argv);
   if (cli.flag("help")) {
@@ -43,6 +54,7 @@ inline BenchContext parse_bench_args(int argc, char** argv,
   }
   BenchContext ctx;
   ctx.full = cli.flag("full");
+  ctx.engine = exec::engine_kind_from_name(cli.get("engine"));
   ctx.scale = cli.get_double_or("scale", 0.0);
   if (ctx.scale == 0.0) {
     if (const char* env = std::getenv("AMRIO_SCALE")) {

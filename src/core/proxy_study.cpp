@@ -8,21 +8,38 @@ namespace amrio::core {
 
 ValidationResult calibrate_and_validate(const RunRecord& run, double growth_lo,
                                         double growth_hi) {
+  return calibrate_and_validate(run, StudyOptions{}, growth_lo, growth_hi);
+}
+
+ValidationResult calibrate_and_validate(const RunRecord& run,
+                                        const StudyOptions& opts,
+                                        double growth_lo, double growth_hi) {
   ValidationResult result;
   result.translation =
       model::translate(run.inputs, run.measurements(), growth_lo, growth_hi);
   result.sim_per_step = run.total.per_step;
 
   // Execute the calibrated proxy for real (as the paper does on Summit) and
-  // measure what it writes. The fiber-scheduled SerialEngine keeps repeated
-  // calibration replays cheap (no thread spawn per evaluation).
+  // measure what it writes. The engine choice does not affect the bytes —
+  // every engine runs the same driver body — so the calibration replay stays
+  // valid under any of them; serial is the cheap default and event unlocks
+  // machine-scale nprocs.
   macsio::Params params = result.translation.params;
   params.output_dir = "macsio_" + run.config.name;
+  params.codec = opts.codec;
+  params.codec_error_bound = opts.codec_error_bound;
+  params.codec_throughput = opts.codec_throughput;
+  params.codec_decode_throughput = opts.codec_decode_throughput;
+  params.restart = opts.restart;
+  params.restart_from_bb = opts.restart_from_bb;
+  params.validate();
   pfs::MemoryBackend backend(/*store_contents=*/false);
-  exec::SerialEngine engine(params.nprocs);
-  result.proxy_stats = macsio::run_macsio(engine, params, backend);
+  const auto engine = exec::make_engine(opts.engine, params.nprocs);
+  result.proxy_stats = macsio::run_macsio(*engine, params, backend);
   for (auto b : result.proxy_stats.bytes_per_dump)
     result.proxy_per_step.push_back(static_cast<double>(b));
+  if (opts.restart)
+    result.restart_stats = macsio::run_restart(*engine, params, backend);
 
   AMRIO_EXPECTS(result.proxy_per_step.size() == result.sim_per_step.size());
   double acc = 0.0;

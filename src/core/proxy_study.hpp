@@ -6,10 +6,32 @@
 /// behind the paper's Figs. 9–11.
 
 #include "core/campaign.hpp"
+#include "exec/engine.hpp"
 #include "macsio/driver.hpp"
 #include "model/translate.hpp"
 
 namespace amrio::core {
+
+/// Knobs that compose with the calibrated proxy replay — the study-level
+/// surface of `--engine`, the `--codec*` family, and `--restart`. The
+/// translation itself never depends on these (it prices raw bytes); they
+/// shape how the validated proxy is *executed*.
+struct StudyOptions {
+  /// Execution engine for the proxy replay. Serial is the calibration
+  /// default; kEvent unlocks machine-scale nprocs.
+  exec::EngineKind engine = exec::EngineKind::kSerial;
+  /// Compression model applied to task documents ("identity", "ebl", ...);
+  /// forwarded to macsio::Params::codec with the bound/throughput knobs.
+  std::string codec = "identity";
+  double codec_error_bound = 1.0e-3;
+  double codec_throughput = 0.0;
+  double codec_decode_throughput = 0.0;
+  /// Read the last dump back after the dump loop (checkpoint-restart) and
+  /// record the stats in ValidationResult::restart_stats.
+  bool restart = false;
+  /// Serve those restart reads through the burst-buffer tier.
+  bool restart_from_bb = false;
+};
 
 struct ValidationResult {
   model::TranslationResult translation;
@@ -18,6 +40,8 @@ struct ValidationResult {
   double mean_abs_rel_err = 0.0;
   double max_abs_rel_err = 0.0;
   macsio::DumpStats proxy_stats;
+  /// Populated iff StudyOptions::restart was set.
+  macsio::RestartStats restart_stats;
 };
 
 /// Calibrate a proxy for `run` and validate it by actually executing the
@@ -26,6 +50,15 @@ struct ValidationResult {
 /// event than the paper's 512²+ cases (see EXPERIMENTS.md), and the
 /// golden-section search just converges from above when the optimum is low.
 ValidationResult calibrate_and_validate(const RunRecord& run,
+                                        double growth_lo = 1.0,
+                                        double growth_hi = 1.15);
+
+/// Same, with the engine/codec/restart knobs applied to the proxy execution.
+/// Codec and restart leave the byte-accuracy comparison untouched by
+/// construction (bytes_per_dump stays raw; restart happens after the dump
+/// loop) — they add their own stats to the result instead.
+ValidationResult calibrate_and_validate(const RunRecord& run,
+                                        const StudyOptions& opts,
                                         double growth_lo = 1.0,
                                         double growth_hi = 1.15);
 

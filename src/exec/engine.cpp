@@ -2,6 +2,7 @@
 
 #include <ucontext.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <exception>
@@ -15,8 +16,25 @@ namespace amrio::exec {
 
 // ---------------------------------------------------------------- SpmdEngine
 
+int SpmdEngine::thread_cap() {
+  constexpr int kDefaultCap = 1024;
+  if (const char* env = std::getenv("AMRIO_SPMD_THREAD_CAP")) {
+    const int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  return kDefaultCap;
+}
+
 SpmdEngine::SpmdEngine(int nranks) : nranks_(nranks) {
   AMRIO_EXPECTS_MSG(nranks >= 1, "SpmdEngine needs at least one rank");
+  // Fail fast with a usable message instead of letting pthread_create die on
+  // resource exhaustion partway through spawning tens of thousands of threads.
+  AMRIO_EXPECTS_MSG(
+      nranks <= thread_cap(),
+      "SpmdEngine: " << nranks << " ranks exceeds the thread cap of "
+                     << thread_cap()
+                     << " OS threads — use --engine=event for large rank "
+                        "counts (or raise AMRIO_SPMD_THREAD_CAP)");
 }
 
 void SpmdEngine::run(const RankFn& fn) {
@@ -422,8 +440,26 @@ std::unique_ptr<Engine> make_engine(EngineKind kind, int nranks) {
   switch (kind) {
     case EngineKind::kSerial: return std::make_unique<SerialEngine>(nranks);
     case EngineKind::kSpmd: return std::make_unique<SpmdEngine>(nranks);
+    case EngineKind::kEvent: return std::make_unique<EventEngine>(nranks);
   }
   throw std::invalid_argument("make_engine: unknown engine kind");
+}
+
+EngineKind engine_kind_from_name(const std::string& name) {
+  if (name == "serial") return EngineKind::kSerial;
+  if (name == "spmd") return EngineKind::kSpmd;
+  if (name == "event") return EngineKind::kEvent;
+  throw std::invalid_argument("unknown engine '" + name +
+                              "' (valid: serial, spmd, event)");
+}
+
+const char* engine_kind_name(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kSerial: return "serial";
+    case EngineKind::kSpmd: return "spmd";
+    case EngineKind::kEvent: return "event";
+  }
+  return "unknown";
 }
 
 }  // namespace amrio::exec

@@ -14,10 +14,18 @@
 ///
 ///  * `SpmdEngine`  — real concurrency: one OS thread per rank via
 ///    `simmpi::run_spmd`, collectives through the shared-memory communicator.
+///    Fails fast above a configurable thread cap (see `SpmdEngine::thread_cap`)
+///    instead of exhausting the machine mid-run.
 ///  * `SerialEngine` — zero threads: each rank is a cooperatively scheduled
 ///    fiber (ucontext). Collectives suspend a fiber until every rank arrives,
 ///    so MPI lockstep semantics hold exactly, deterministically, and cheaply —
 ///    this is what the calibrator uses when it replays MACSio many times.
+///  * `EventEngine` — discrete-event scheduling for machine-scale rank counts:
+///    ranks are virtual (no per-rank stack or thread — suspended ranks are
+///    compact stack slices in arena pools), collectives are batched events
+///    resolved when the last participant arrives, and the scheduler's ready
+///    queue makes each step O(active events) rather than O(nranks). This is
+///    the engine for 100k+ simulated ranks (`--engine=event`).
 ///
 /// Because both engines run the *same* driver body, serial and threaded runs
 /// are byte-identical by construction (asserted by tests/test_exec.cpp).
@@ -127,13 +135,53 @@ class SerialEngine final : public Engine {
 /// Thread-per-rank engine over simmpi::run_spmd.
 class SpmdEngine final : public Engine {
  public:
+  /// Throws (ContractViolation) when `nranks` exceeds `thread_cap()` — one OS
+  /// thread per rank does not survive machine-scale rank counts, and dying on
+  /// pthread_create mid-run loses the error; the message points at
+  /// `--engine=event` instead.
   explicit SpmdEngine(int nranks);
   int nranks() const override { return nranks_; }
   const char* name() const override { return "spmd"; }
   void run(const RankFn& fn) override;
 
+  /// Most ranks this engine will agree to run as real threads. Defaults to
+  /// 1024; override with the AMRIO_SPMD_THREAD_CAP environment variable
+  /// (read per construction, so tests can adjust it).
+  static int thread_cap();
+
  private:
   int nranks_;
+};
+
+/// Discrete-event engine: virtual ranks on one shared execution stack.
+///
+/// A rank runs on the shared stack until it blocks (collective arrival or an
+/// empty mailbox); its live stack slice — typically a few KiB — is copied
+/// into a size-classed arena pool and the stack is reused, so a 516k-rank
+/// dump costs megabytes of engine state plus the suspended slices instead of
+/// 516k fiber stacks or OS threads. Wake-ups go through a FIFO ready queue
+/// (collective release wakes arrivals in order, a send wakes exactly the
+/// matching receiver), and fresh ranks start only when nothing is ready, so
+/// one scheduling step is O(1) and a full run is O(total events), not
+/// O(nranks) per step. Deterministic by construction; byte- and stats-parity
+/// with SerialEngine is asserted by tests/test_event_engine.cpp.
+///
+/// Restrictions (checked): nranks < 2^24 and p2p tags in [0, 65535] — the
+/// mailbox key packs (src, dst, tag) into 64 bits. Under AddressSanitizer or
+/// on non-x86-64 targets the engine transparently falls back to pooled
+/// per-rank ucontext fibers (same semantics, more memory per suspended rank).
+class EventEngine final : public Engine {
+ public:
+  /// `exec_stack_bytes` sizes the shared execution stack (the deepest live
+  /// rank must fit; the default is double SerialEngine's per-fiber default).
+  explicit EventEngine(int nranks, std::size_t exec_stack_bytes = 256 * 1024);
+  int nranks() const override { return nranks_; }
+  const char* name() const override { return "event"; }
+  void run(const RankFn& fn) override;
+
+ private:
+  int nranks_;
+  std::size_t stack_bytes_;
 };
 
 /// RankCtx over an existing simmpi communicator — lets code that is already
@@ -172,8 +220,13 @@ class CommCtx final : public RankCtx {
   simmpi::Comm* comm_;
 };
 
-enum class EngineKind { kSerial, kSpmd };
+enum class EngineKind { kSerial, kSpmd, kEvent };
 
 std::unique_ptr<Engine> make_engine(EngineKind kind, int nranks);
+
+/// CLI surface for the `--engine` knob: "serial" | "spmd" | "event".
+/// Throws std::invalid_argument on anything else, naming the valid values.
+EngineKind engine_kind_from_name(const std::string& name);
+const char* engine_kind_name(EngineKind kind);
 
 }  // namespace amrio::exec

@@ -72,25 +72,27 @@ std::string aggregated_index_path_for(const Params& p, const IoInterface& iface,
          util::zero_pad(static_cast<std::uint64_t>(dump), 3) + ".txt";
 }
 
-// Fixed-width index layout: 51-byte header + one 54-byte line per task
-// ("ggggg ttttt <offset:20> <bytes:20>\n") — exactly computable, see
-// aggregated_index_bytes().
+// Fixed-width index layout: 55-byte header + one 58-byte line per task
+// ("ggggggg ttttttt <offset:20> <bytes:20>\n") — exactly computable, see
+// aggregated_index_bytes(). Group/task fields are 7 digits so the index
+// stays fixed-width at machine-scale rank counts (nprocs <= 9,999,999).
 std::string agg_index_text(const Params& p, const staging::AggTopology& topo,
                            int dump,
                            const std::vector<std::uint64_t>& task_bytes) {
   std::string out = "macsio-agg-index dump " +
                     util::zero_pad(static_cast<std::uint64_t>(dump), 3) +
                     " groups " +
-                    util::zero_pad(static_cast<std::uint64_t>(topo.ngroups()), 5) +
+                    util::zero_pad(static_cast<std::uint64_t>(topo.ngroups()), 7) +
                     " ranks " +
-                    util::zero_pad(static_cast<std::uint64_t>(p.nprocs), 5) +
+                    util::zero_pad(static_cast<std::uint64_t>(p.nprocs), 7) +
                     "\n";
+  out.reserve(out.size() + 58 * static_cast<std::size_t>(p.nprocs));
   for (int g = 0; g < topo.ngroups(); ++g) {
     std::uint64_t offset = 0;
     for (int r : topo.members_of(g)) {
       const std::uint64_t b = task_bytes[static_cast<std::size_t>(r)];
-      out += util::zero_pad(static_cast<std::uint64_t>(g), 5) + " " +
-             util::zero_pad(static_cast<std::uint64_t>(r), 5) + " " +
+      out += util::zero_pad(static_cast<std::uint64_t>(g), 7) + " " +
+             util::zero_pad(static_cast<std::uint64_t>(r), 7) + " " +
              util::zero_pad(offset, 20) + " " + util::zero_pad(b, 20) + "\n";
       offset += b;
     }
@@ -145,9 +147,9 @@ std::string aggregated_index_path(const Params& p, int dump) {
 }
 
 std::uint64_t aggregated_index_bytes(const Params& p) {
-  // header "macsio-agg-index dump DDD groups GGGGG ranks RRRRR\n" = 51 bytes;
-  // per-task line "GGGGG TTTTT <20-digit offset> <20-digit bytes>\n" = 54.
-  return 51 + 54 * static_cast<std::uint64_t>(p.nprocs);
+  // header "macsio-agg-index dump DDD groups GGGGGGG ranks RRRRRRR\n" = 55
+  // bytes; per-task line "GGGGGGG TTTTTTT <offset:20> <bytes:20>\n" = 58.
+  return 55 + 58 * static_cast<std::uint64_t>(p.nprocs);
 }
 
 namespace {

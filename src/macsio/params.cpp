@@ -226,10 +226,12 @@ std::string Params::to_command_line() const {
 
 void Params::validate() const {
   AMRIO_EXPECTS_MSG(num_dumps >= 1, "macsio: num_dumps must be >= 1");
-  // the 3-digit dump and 5-digit task fields are baked into the output file
-  // names and the fixed-width aggregation index
+  // the 3-digit dump field is baked into the output file names, and the
+  // 7-digit group/task fields into the fixed-width aggregation index
+  // (zero_pad in the file paths pads to a *minimum* width, so rank counts
+  // beyond 5 digits simply print wider there and names stay unique)
   AMRIO_EXPECTS_MSG(num_dumps <= 999, "macsio: num_dumps must be <= 999");
-  AMRIO_EXPECTS_MSG(nprocs <= 99999, "macsio: nprocs must be <= 99999");
+  AMRIO_EXPECTS_MSG(nprocs <= 9999999, "macsio: nprocs must be <= 9999999");
   AMRIO_EXPECTS_MSG(part_size >= 8, "macsio: part_size must be >= 8 bytes");
   AMRIO_EXPECTS_MSG(avg_num_parts > 0, "macsio: avg_num_parts must be > 0");
   AMRIO_EXPECTS_MSG(vars_per_part >= 1, "macsio: vars_per_part must be >= 1");

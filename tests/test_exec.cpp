@@ -116,7 +116,8 @@ TEST_P(EngineCollectives, RankExceptionPropagates) {
 
 INSTANTIATE_TEST_SUITE_P(Kinds, EngineCollectives,
                          ::testing::Values(ex::EngineKind::kSerial,
-                                           ex::EngineKind::kSpmd));
+                                           ex::EngineKind::kSpmd,
+                                           ex::EngineKind::kEvent));
 
 TEST(SerialEngine, DeterministicSchedule) {
   // fibers are resumed in rank order between suspensions: record the order
