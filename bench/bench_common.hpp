@@ -5,10 +5,15 @@
 /// bench from laptop scale toward paper scale.
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "exec/engine.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/probe.hpp"
+#include "obs/span.hpp"
 #include "pfs/simfs.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -25,6 +30,15 @@ struct BenchContext {
   /// (serial | spmd | event). Serial matches historical bench behavior;
   /// event unlocks machine-scale rank counts.
   exec::EngineKind engine = exec::EngineKind::kSerial;
+  /// --trace_out: Chrome-trace/Perfetto JSON of the bench's *last* study row
+  /// (benches trace one row at a time so each row's critical path is clean).
+  std::string trace_out;
+  /// --metrics_out: metrics snapshot accumulated across every row (".csv"
+  /// suffix selects flat CSV, anything else pretty JSON).
+  std::string metrics_out;
+  /// Shared registry behind probe(); counters accumulate across rows.
+  std::shared_ptr<obs::MetricsRegistry> metrics =
+      std::make_shared<obs::MetricsRegistry>();
 
   double pick_scale(double dflt, double full_scale) const {
     if (scale > 0.0) return scale;
@@ -33,6 +47,13 @@ struct BenchContext {
 
   std::unique_ptr<exec::Engine> make_engine(int nranks) const {
     return exec::make_engine(engine, nranks);
+  }
+
+  /// Probe for one study row: the caller owns the row's tracer (fresh per
+  /// row, so its spans form exactly one critical path), the context owns the
+  /// accumulating metrics registry.
+  obs::Probe probe(obs::Tracer& row_tracer) const {
+    return obs::Probe{&row_tracer, metrics.get()};
   }
 };
 
@@ -46,6 +67,10 @@ inline BenchContext parse_bench_args(int argc, char** argv,
                  std::string("bench_results"));
   cli.add_option("engine", "execution engine: serial | spmd | event", 1,
                  std::string("serial"));
+  cli.add_option("trace_out", "Chrome-trace JSON of the last study row", 1,
+                 std::string(""));
+  cli.add_option("metrics_out", "metrics snapshot (JSON, or CSV by suffix)", 1,
+                 std::string(""));
   cli.add_flag("help", "show usage");
   cli.parse(argc, argv);
   if (cli.flag("help")) {
@@ -63,8 +88,24 @@ inline BenchContext parse_bench_args(int argc, char** argv,
     }
   }
   ctx.out_dir = cli.get("out");
+  ctx.trace_out = cli.get("trace_out");
+  ctx.metrics_out = cli.get("metrics_out");
   util::make_dirs(ctx.out_dir);
   return ctx;
+}
+
+/// Write the observability artifacts requested on the command line:
+/// `tracer` (typically the final study row's) to --trace_out and the
+/// context's accumulated metrics to --metrics_out. No-op for unset paths.
+inline void export_obs(const BenchContext& ctx, const obs::Tracer& tracer) {
+  if (!ctx.trace_out.empty()) {
+    obs::export_trace(ctx.trace_out, tracer);
+    std::printf("trace: %s\n", ctx.trace_out.c_str());
+  }
+  if (!ctx.metrics_out.empty()) {
+    obs::export_metrics(ctx.metrics_out, ctx.metrics->snapshot());
+    std::printf("metrics: %s\n", ctx.metrics_out.c_str());
+  }
 }
 
 inline std::string csv_path(const BenchContext& ctx, const std::string& name) {

@@ -17,6 +17,7 @@
 #include "bench_common.hpp"
 #include "exec/engine.hpp"
 #include "macsio/driver.hpp"
+#include "obs/critical_path.hpp"
 #include "pfs/backend.hpp"
 #include "pfs/simfs.hpp"
 #include "staging/drain.hpp"
@@ -66,15 +67,18 @@ int main(int argc, char** argv) {
                                {"ebl@1e-6", "ebl", 1e-6}};
 
   util::TextTable table({"ranks", "mode", "codec", "raw", "encoded", "ratio",
-                         "codec cpu", "perceived mkspn", "sustained mkspn"});
+                         "encode cpu", "perceived mkspn", "sustained mkspn",
+                         "critical stage"});
   util::CsvWriter csv(bench::csv_path(ctx, "ext_codec_study.csv"));
   csv.header({"ranks", "mode", "codec", "error_bound", "raw_bytes",
-              "encoded_bytes", "ratio", "codec_cpu_s", "perceived_makespan",
-              "sustained_makespan", "perceived_bw", "sustained_bw"});
+              "encoded_bytes", "ratio", "codec_encode_s", "perceived_makespan",
+              "sustained_makespan", "perceived_bw", "sustained_bw",
+              "critical_stage", "critical_frac", "binding_resource"});
 
   bool ok = true;
   bool ebl_wins_somewhere = false;
   bool identity_wins_somewhere = false;
+  obs::Tracer row_tracer;  // reset per row: one critical path per config
   for (int ranks : rank_counts) {
     for (const Mode& mode : modes) {
       std::map<std::string, double> makespan;  // codec label -> perceived
@@ -96,7 +100,10 @@ int main(int argc, char** argv) {
 
         pfs::MemoryBackend backend(false);
         exec::SerialEngine engine(params.nprocs);
-        const auto stats = macsio::run_macsio(engine, params, backend);
+        row_tracer = obs::Tracer();
+        const obs::Probe probe = ctx.probe(row_tracer);
+        const auto stats =
+            macsio::run_macsio(engine, params, backend, nullptr, probe);
 
         std::uint64_t encoded_bytes = 0;  // what travels/lands (data files)
         for (const auto& req : stats.requests) {
@@ -116,16 +123,20 @@ int main(int argc, char** argv) {
         }
 
         pfs::SimFs fs(bench::study_fs_config(ranks, mode.burst_buffer));
-        const auto report = staging::staging_report(fs.run(stats.requests));
+        const auto report =
+            staging::staging_report(fs.run(stats.requests, probe));
         makespan[point.label] = report.perceived.makespan;
+        const obs::CriticalPathReport cp =
+            obs::critical_path(row_tracer.spans(), row_tracer.edges());
 
         table.add_row(
             {std::to_string(ranks), mode.name, point.label,
              util::human_bytes(raw_bytes), util::human_bytes(encoded_bytes),
              util::format_g(stats.codec.total.ratio(), 3),
-             util::format_g(stats.codec.total.cpu_seconds(), 3) + "s",
+             util::format_g(stats.codec.total.encode_seconds, 3) + "s",
              util::format_g(report.perceived.makespan, 4) + "s",
-             util::format_g(report.sustained.makespan, 4) + "s"});
+             util::format_g(report.sustained.makespan, 4) + "s",
+             obs::summarize(cp)});
         csv.field(static_cast<std::int64_t>(ranks))
             .field(std::string(mode.name))
             .field(std::string(point.codec))
@@ -133,11 +144,14 @@ int main(int argc, char** argv) {
             .field(static_cast<std::int64_t>(raw_bytes))
             .field(static_cast<std::int64_t>(encoded_bytes))
             .field(stats.codec.total.ratio())
-            .field(stats.codec.total.cpu_seconds())
+            .field(stats.codec.total.encode_seconds)
             .field(report.perceived.makespan)
             .field(report.sustained.makespan)
             .field(report.perceived_bandwidth)
-            .field(report.sustained_bandwidth);
+            .field(report.sustained_bandwidth)
+            .field(cp.critical_stage)
+            .field(cp.critical_frac)
+            .field(cp.binding_resource);
         csv.endrow();
       }
       // frontier: does some ebl point beat identity here, or lose to it?
@@ -170,5 +184,6 @@ int main(int argc, char** argv) {
   std::printf("shape checks (encoded <= raw, ebl/identity crossover): %s\n",
               ok ? "OK" : "MISMATCH");
   std::printf("csv: %s\n", csv.path().c_str());
+  bench::export_obs(ctx, row_tracer);
   return ok ? 0 : 1;
 }

@@ -20,6 +20,7 @@
 #include "bench_common.hpp"
 #include "exec/engine.hpp"
 #include "macsio/driver.hpp"
+#include "obs/critical_path.hpp"
 #include "pfs/backend.hpp"
 #include "pfs/simfs.hpp"
 #include "util/format.hpp"
@@ -61,13 +62,16 @@ int main(int argc, char** argv) {
                                {"ebl@1e-4", "ebl", 1e-4}};
 
   util::TextTable table({"ranks", "mode", "codec", "raw", "fetched",
-                         "decode gate", "read mkspn", "perceived read bw"});
+                         "decode gate", "read mkspn", "perceived read bw",
+                         "critical path"});
   util::CsvWriter csv(bench::csv_path(ctx, "ext_restart_study.csv"));
   csv.header({"ranks", "mode", "codec", "error_bound", "raw_bytes",
               "encoded_bytes", "decode_gate_s", "scatter_s", "read_makespan",
-              "perceived_read_bw"});
+              "perceived_read_bw", "critical_stage", "critical_frac",
+              "binding_resource"});
 
   bool ok = true;
+  obs::Tracer row_tracer;  // reset per row: one critical path per config
   for (int ranks : rank_counts) {
     for (const CodecPoint& point : codecs) {
       double bw_by_mode[2] = {0.0, 0.0};
@@ -89,8 +93,11 @@ int main(int argc, char** argv) {
 
         pfs::MemoryBackend backend(false);  // accounting: exact sizes
         exec::SerialEngine engine(params.nprocs);
+        row_tracer = obs::Tracer();
+        const obs::Probe probe = ctx.probe(row_tracer);
         (void)macsio::run_macsio(engine, params, backend);
-        const auto restart = macsio::run_restart(engine, params, backend);
+        const auto restart =
+            macsio::run_restart(engine, params, backend, nullptr, probe);
 
         if (restart.encoded_bytes > restart.raw_bytes) {
           std::printf("MISMATCH: %d ranks %s %s: fetched > raw\n", ranks,
@@ -106,7 +113,9 @@ int main(int argc, char** argv) {
         pfs::SimFsConfig cfg = bench::study_fs_config(ranks, mode.prefetch);
         cfg.bb.prefetch_concurrency = params.prefetch_streams;
         pfs::SimFs fs(cfg);
-        const auto results = fs.run(requests);
+        const auto results = fs.run(requests, probe);
+        const obs::CriticalPathReport cp =
+            obs::critical_path(row_tracer.spans(), row_tracer.edges());
         double last_read_end = kResumeDelay;
         for (const auto& res : results)
           if (res.op == pfs::kOpRead)
@@ -126,7 +135,8 @@ int main(int argc, char** argv) {
                        util::format_g(restart.decode_gate, 3) + "s",
                        util::format_g(read_makespan, 4) + "s",
                        util::human_bytes(static_cast<std::uint64_t>(
-                           perceived_bw)) + "/s"});
+                           perceived_bw)) + "/s",
+                       obs::summarize(cp)});
         csv.field(static_cast<std::int64_t>(ranks))
             .field(std::string(mode.name))
             .field(std::string(point.codec))
@@ -136,7 +146,10 @@ int main(int argc, char** argv) {
             .field(restart.decode_gate)
             .field(restart.scatter_seconds)
             .field(read_makespan)
-            .field(perceived_bw);
+            .field(perceived_bw)
+            .field(cp.critical_stage)
+            .field(cp.critical_frac)
+            .field(cp.binding_resource);
         csv.endrow();
 
         const bool ebl = std::string(point.codec) == "ebl";
@@ -175,5 +188,6 @@ int main(int argc, char** argv) {
       "gate): %s\n",
       ok ? "OK" : "MISMATCH");
   std::printf("csv: %s\n", csv.path().c_str());
+  bench::export_obs(ctx, row_tracer);
   return ok ? 0 : 1;
 }

@@ -24,6 +24,7 @@
 #include "bench_common.hpp"
 #include "exec/engine.hpp"
 #include "macsio/driver.hpp"
+#include "obs/critical_path.hpp"
 #include "pfs/backend.hpp"
 #include "pfs/simfs.hpp"
 #include "staging/aggregator.hpp"
@@ -80,11 +81,12 @@ int main(int argc, char** argv) {
   util::TextTable table({"ranks", "config", "placement", "agg nodes",
                          "data files", "all files", "perceived mkspn",
                          "sustained mkspn", "perceived BW", "sustained BW",
-                         "drain tail"});
+                         "drain tail", "critical path"});
   util::CsvWriter csv(bench::csv_path(ctx, "ext_staging_study.csv"));
   csv.header({"ranks", "config", "placement", "agg_nodes", "data_files",
               "all_files", "perceived_makespan", "sustained_makespan",
-              "perceived_bw", "sustained_bw", "drain_tail", "data_bytes"});
+              "perceived_bw", "sustained_bw", "drain_tail", "data_bytes",
+              "critical_stage", "critical_frac", "binding_resource"});
 
   const Config configs[] = {{"none", false, false},
                             {"agg", true, false},
@@ -92,6 +94,7 @@ int main(int argc, char** argv) {
                             {"agg+bb", true, true}};
 
   bool ok = true;
+  obs::Tracer row_tracer;  // reset per row: one critical path per config/row
   for (int ranks : rank_counts) {
     std::uint64_t baseline_data_files = 0;
     std::uint64_t baseline_data_bytes = 0;
@@ -108,7 +111,10 @@ int main(int argc, char** argv) {
 
       pfs::MemoryBackend backend(false);
       exec::SerialEngine engine(params.nprocs);
-      const auto stats = macsio::run_macsio(engine, params, backend);
+      row_tracer = obs::Tracer();
+      obs::Probe probe = ctx.probe(row_tracer);
+      const auto stats =
+          macsio::run_macsio(engine, params, backend, nullptr, probe);
 
       std::uint64_t data_files = 0;
       std::uint64_t data_bytes = 0;
@@ -155,10 +161,20 @@ int main(int argc, char** argv) {
           const auto topo =
               staging::AggTopology::make(ranks, params.aggregators);
           requests = cluster_aggregators(std::move(requests), topo);
+          // Second row of this config: regenerate the driver spans into a
+          // fresh tracer so this placement's critical path stands alone.
+          row_tracer = obs::Tracer();
+          probe = ctx.probe(row_tracer);
+          pfs::MemoryBackend probe_backend(false);
+          exec::SerialEngine probe_engine(params.nprocs);
+          (void)macsio::run_macsio(probe_engine, params, probe_backend,
+                                   nullptr, probe);
         }
         // only meaningful when aggregators exist; 0 otherwise
         const int agg_nodes = config.aggregate ? data_nodes(fs, requests) : 0;
-        const auto report = staging::staging_report(fs.run(requests));
+        const auto report = staging::staging_report(fs.run(requests, probe));
+        const obs::CriticalPathReport cp =
+            obs::critical_path(row_tracer.spans(), row_tracer.edges());
 
         if (report.perceived.makespan <= 0) ok = false;
         if (config.burst_buffer &&
@@ -191,7 +207,8 @@ int main(int argc, char** argv) {
                            " GB/s",
                        util::format_g(report.sustained_bandwidth / 1e9, 3) +
                            " GB/s",
-                       util::format_g(report.drain_tail, 3) + "s"});
+                       util::format_g(report.drain_tail, 3) + "s",
+                       obs::summarize(cp)});
         csv.field(static_cast<std::int64_t>(ranks))
             .field(std::string(config.name))
             .field(std::string(placement))
@@ -203,7 +220,10 @@ int main(int argc, char** argv) {
             .field(report.perceived_bandwidth)
             .field(report.sustained_bandwidth)
             .field(report.drain_tail)
-            .field(static_cast<std::int64_t>(data_bytes));
+            .field(static_cast<std::int64_t>(data_bytes))
+            .field(cp.critical_stage)
+            .field(cp.critical_frac)
+            .field(cp.binding_resource);
         csv.endrow();
       }
     }
@@ -224,5 +244,6 @@ int main(int argc, char** argv) {
       "placement): %s\n",
       ok ? "OK" : "MISMATCH");
   std::printf("csv: %s\n", csv.path().c_str());
+  bench::export_obs(ctx, row_tracer);
   return ok ? 0 : 1;
 }

@@ -17,6 +17,10 @@
 #include "exec/engine.hpp"
 #include "iostats/aggregate.hpp"
 #include "macsio/driver.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "pfs/timeline.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
@@ -27,6 +31,8 @@ int main(int argc, char** argv) {
   exec::EngineKind engine_kind = exec::EngineKind::kSerial;
   bool to_disk = false;
   std::string out_root = "macsio_run";
+  std::string trace_out;
+  std::string metrics_out;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--spmd") {  // legacy alias for --engine spmd
@@ -42,6 +48,10 @@ int main(int argc, char** argv) {
       to_disk = true;
     } else if (a == "--out" && i + 1 < argc) {
       out_root = argv[++i];
+    } else if (a == "--trace_out" && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (a == "--metrics_out" && i + 1 < argc) {
+      metrics_out = argv[++i];
     } else if (a == "--help") {
       std::printf(
           "macsio_proxy: MACSio-compatible proxy I/O application\n"
@@ -56,7 +66,12 @@ int main(int argc, char** argv) {
           "  extras: --engine serial|spmd|event (execution substrate;\n"
           "          event scales to 100k+ virtual ranks), --spmd (alias\n"
           "          for --engine spmd), --disk (write real files),\n"
-          "          --out DIR (disk root)\n");
+          "          --out DIR (disk root)\n"
+          "  observability: --trace_out FILE (Chrome-trace/Perfetto JSON of\n"
+          "          the virtual-time spans; ranks as threads),\n"
+          "          --metrics_out FILE (metrics snapshot; .csv or JSON).\n"
+          "          Either flag also replays the request stream through the\n"
+          "          reference PFS/BB model and prints the critical path.\n");
       return 0;
     } else {
       args.push_back(a);
@@ -77,6 +92,11 @@ int main(int argc, char** argv) {
   else backend = std::make_unique<pfs::MemoryBackend>(false);
 
   iostats::TraceRecorder trace;
+  const bool observe = !trace_out.empty() || !metrics_out.empty();
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  const obs::Probe probe =
+      observe ? obs::Probe{&tracer, &metrics} : obs::Probe{};
   std::unique_ptr<exec::Engine> engine;
   try {
     engine = exec::make_engine(engine_kind, params.nprocs);
@@ -87,7 +107,7 @@ int main(int argc, char** argv) {
   std::printf("running %d ranks on the %s engine...\n", params.nprocs,
               engine->name());
   const macsio::DumpStats stats =
-      macsio::run_macsio(*engine, params, *backend, &trace);
+      macsio::run_macsio(*engine, params, *backend, &trace, probe);
 
   util::TextTable table({"dump", "bytes", "max task bytes", "min task bytes"});
   for (std::size_t d = 0; d < stats.bytes_per_dump.size(); ++d) {
@@ -110,9 +130,9 @@ int main(int argc, char** argv) {
                 stats.codec.total.ratio(), stats.codec.total.encode_seconds);
   }
 
+  macsio::RestartStats restart;
   if (params.restart) {
-    const macsio::RestartStats restart =
-        macsio::run_restart(*engine, params, *backend, &trace);
+    restart = macsio::run_restart(*engine, params, *backend, &trace, probe);
     std::printf(
         "restart (dump %d, %s): %s decoded image, %s fetched off the %s, "
         "decode gate %.3gs, scatter %.3gs\n",
@@ -131,6 +151,34 @@ int main(int argc, char** argv) {
     std::printf("burstiness on the reference PFS model: duty cycle %.1f%%, "
                 "peak %.2f GB/s\n",
                 100 * burst.duty_cycle, burst.peak_bandwidth / 1e9);
+  }
+
+  if (observe) {
+    // Time the full pipeline on the reference PFS/BB model so the trace
+    // holds every stage: the driver spans recorded above (encode/ship/
+    // scatter/decode and the dump/restart phases) plus the replay's
+    // pfs_write/bb_absorb/bb_drain/bb_prefetch/bb_read spans.
+    pfs::SimFsConfig cfg;
+    cfg.bb.enabled = params.stage_to_bb || params.restart_from_bb;
+    if (cfg.bb.enabled) {
+      cfg.bb.ranks_per_node = 16;
+      cfg.bb.nodes = params.nprocs / 16 > 1 ? params.nprocs / 16 : 1;
+    }
+    pfs::SimFs fs(cfg);
+    fs.run(stats.requests, probe);
+    if (params.restart) fs.run(restart.requests, probe);
+    const obs::CriticalPathReport cp =
+        obs::critical_path(tracer.spans(), tracer.edges());
+    std::printf("critical path over %.4gs of virtual time: %s\n", cp.makespan,
+                obs::summarize(cp).c_str());
+    if (!trace_out.empty()) {
+      obs::export_trace(trace_out, tracer);
+      std::printf("trace: %s\n", trace_out.c_str());
+    }
+    if (!metrics_out.empty()) {
+      obs::export_metrics(metrics_out, metrics.snapshot());
+      std::printf("metrics: %s\n", metrics_out.c_str());
+    }
   }
   return 0;
 }

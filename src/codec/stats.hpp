@@ -34,10 +34,6 @@ struct CodecTotals {
   void add_decode(const CompressResult& r, double decode_s);
   void merge(const CodecTotals& other);
   double ratio() const;
-  /// Deprecated sum accessor (encode + decode), kept so existing CSV columns
-  /// ("codec_cpu_s") and reports stay comparable. New code should read
-  /// `encode_seconds` / `decode_seconds` directly.
-  double cpu_seconds() const { return encode_seconds + decode_seconds; }
   std::uint64_t saved_bytes() const {
     return raw_bytes >= encoded_bytes ? raw_bytes - encoded_bytes : 0;
   }

@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/assert.hpp"
 
 namespace amrio::core {
@@ -35,11 +38,21 @@ ValidationResult calibrate_and_validate(const RunRecord& run,
   params.validate();
   pfs::MemoryBackend backend(/*store_contents=*/false);
   const auto engine = exec::make_engine(opts.engine, params.nprocs);
-  result.proxy_stats = macsio::run_macsio(*engine, params, backend);
+  const bool observe = !opts.trace_out.empty() || !opts.metrics_out.empty();
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  const obs::Probe probe =
+      observe ? obs::Probe{&tracer, &metrics} : obs::Probe{};
+  result.proxy_stats =
+      macsio::run_macsio(*engine, params, backend, nullptr, probe);
   for (auto b : result.proxy_stats.bytes_per_dump)
     result.proxy_per_step.push_back(static_cast<double>(b));
   if (opts.restart)
-    result.restart_stats = macsio::run_restart(*engine, params, backend);
+    result.restart_stats =
+        macsio::run_restart(*engine, params, backend, nullptr, probe);
+  if (!opts.trace_out.empty()) obs::export_trace(opts.trace_out, tracer);
+  if (!opts.metrics_out.empty())
+    obs::export_metrics(opts.metrics_out, metrics.snapshot());
 
   AMRIO_EXPECTS(result.proxy_per_step.size() == result.sim_per_step.size());
   double acc = 0.0;

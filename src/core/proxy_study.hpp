@@ -31,6 +31,13 @@ struct StudyOptions {
   bool restart = false;
   /// Serve those restart reads through the burst-buffer tier.
   bool restart_from_bb = false;
+  /// When non-empty, write a Chrome-trace/Perfetto JSON of the proxy replay's
+  /// virtual-time spans (dump/encode/ship, restart/scatter/decode) here —
+  /// ranks appear as threads, the driver as tid 0. See docs/OBSERVABILITY.md.
+  std::string trace_out;
+  /// When non-empty, write the metrics snapshot here (".csv" suffix selects
+  /// flat CSV, anything else pretty JSON).
+  std::string metrics_out;
 };
 
 struct ValidationResult {

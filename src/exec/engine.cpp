@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace amrio::exec {
@@ -374,7 +375,7 @@ void SerialEngine::run(const RankFn& fn) {
 
 std::vector<std::vector<std::byte>> gatherv_group(
     RankCtx& ctx, std::span<const std::byte> mine, std::span<const int> members,
-    int root, int tag) {
+    int root, int tag, obs::Probe probe) {
   AMRIO_EXPECTS_MSG(!members.empty(), "gatherv_group: empty member list");
   bool in_group = false;
   bool root_in_group = false;
@@ -396,18 +397,29 @@ std::vector<std::vector<std::byte>> gatherv_group(
   }
   std::vector<std::vector<std::byte>> payloads;
   payloads.reserve(members.size());
+  std::uint64_t shipped = 0;
+  std::int64_t nmessages = 0;
   for (int member : members) {
-    if (member == root)
+    if (member == root) {
       payloads.emplace_back(mine.begin(), mine.end());
-    else
+    } else {
       payloads.push_back(ctx.recv_bytes(member, tag));
+      shipped += payloads.back().size();
+      ++nmessages;
+    }
+  }
+  if (probe.metrics != nullptr) {
+    probe.metrics->add("exec.gatherv.calls", 1);
+    probe.metrics->add("exec.gatherv.messages", nmessages);
+    probe.metrics->add("exec.gatherv.bytes",
+                       static_cast<std::int64_t>(shipped));
   }
   return payloads;
 }
 
 std::vector<std::byte> scatterv_group(
     RankCtx& ctx, const std::vector<std::vector<std::byte>>& payloads,
-    std::span<const int> members, int root, int tag) {
+    std::span<const int> members, int root, int tag, obs::Probe probe) {
   AMRIO_EXPECTS_MSG(!members.empty(), "scatterv_group: empty member list");
   bool in_group = false;
   bool root_in_group = false;
@@ -427,11 +439,22 @@ std::vector<std::byte> scatterv_group(
   AMRIO_EXPECTS_MSG(payloads.size() == members.size(),
                     "scatterv_group: root needs one payload per member");
   std::vector<std::byte> mine;
+  std::uint64_t shipped = 0;
+  std::int64_t nmessages = 0;
   for (std::size_t i = 0; i < members.size(); ++i) {
-    if (members[i] == root)
+    if (members[i] == root) {
       mine = payloads[i];
-    else
+    } else {
       ctx.send_bytes(payloads[i], members[i], tag);
+      shipped += payloads[i].size();
+      ++nmessages;
+    }
+  }
+  if (probe.metrics != nullptr) {
+    probe.metrics->add("exec.scatterv.calls", 1);
+    probe.metrics->add("exec.scatterv.messages", nmessages);
+    probe.metrics->add("exec.scatterv.bytes",
+                       static_cast<std::int64_t>(shipped));
   }
   return mine;
 }

@@ -41,6 +41,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/probe.hpp"
 #include "simmpi/comm.hpp"
 
 namespace amrio::exec {
@@ -84,9 +85,12 @@ class RankCtx {
 /// global collective — only the listed members participate, so several
 /// aggregation groups can gather concurrently. This is the two-phase
 /// collective the staging layer uses to ship task documents to aggregators.
+/// A non-empty `probe` counts the ship on the metrics registry
+/// (exec.gatherv.{calls,messages,bytes}, root side) — pure commutative
+/// counter adds, so the snapshot stays engine-invariant.
 std::vector<std::vector<std::byte>> gatherv_group(
     RankCtx& ctx, std::span<const std::byte> mine, std::span<const int> members,
-    int root, int tag);
+    int root, int tag, obs::Probe probe = {});
 
 /// Group scatterv — `gatherv_group` in reverse, the read-side ship: `root`
 /// holds one payload per member (member order, so payloads.size() ==
@@ -95,9 +99,10 @@ std::vector<std::vector<std::byte>> gatherv_group(
 /// Like gatherv_group this is not a global collective — several restage
 /// groups can scatter concurrently. Byte-conserving: the concatenation of
 /// what the members receive equals the concatenation of what the root held.
+/// `probe` counts exec.scatterv.{calls,messages,bytes} on the root side.
 std::vector<std::byte> scatterv_group(
     RankCtx& ctx, const std::vector<std::vector<std::byte>>& payloads,
-    std::span<const int> members, int root, int tag);
+    std::span<const int> members, int root, int tag, obs::Probe probe = {});
 
 using RankFn = std::function<void(RankCtx&)>;
 

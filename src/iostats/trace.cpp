@@ -2,13 +2,21 @@
 
 #include <algorithm>
 
+#include "obs/shard.hpp"
+
 namespace amrio::iostats {
 
+TraceRecorder::TraceRecorder(std::size_t nsinks) {
+  if (nsinks == 0) nsinks = 1;
+  sinks_.reserve(nsinks);
+  for (std::size_t i = 0; i < nsinks; ++i)
+    sinks_.push_back(std::make_unique<Sink>());
+}
+
 TraceRecorder::Sink& TraceRecorder::sink_for(int rank) {
-  const auto idx = static_cast<std::size_t>(
-      ((rank % static_cast<int>(kSinks)) + static_cast<int>(kSinks)) %
-      static_cast<int>(kSinks));
-  return sinks_[idx];
+  // Mixed hash, not `rank % nsinks`: a plain modulo serializes stride-N rank
+  // patterns (every aggregator of a 64-group topology shares one sink).
+  return *sinks_[obs::rank_shard(rank, sinks_.size())];
 }
 
 void TraceRecorder::record(IoEvent event) {
@@ -94,8 +102,8 @@ void TraceRecorder::record_prefetch(std::int64_t step, int level, int rank,
 std::vector<IoEvent> TraceRecorder::events() const {
   std::vector<IoEvent> out;
   for (const auto& sink : sinks_) {
-    std::lock_guard<std::mutex> lock(sink.mu);
-    out.insert(out.end(), sink.events.begin(), sink.events.end());
+    std::lock_guard<std::mutex> lock(sink->mu);
+    out.insert(out.end(), sink->events.begin(), sink->events.end());
   }
   // Stable: ties (same step+rank) keep per-rank recording order, because all
   // events of one rank live in one sink and were appended in program order.
@@ -113,8 +121,8 @@ std::size_t TraceRecorder::size() const {
 
 void TraceRecorder::clear() {
   for (auto& sink : sinks_) {
-    std::lock_guard<std::mutex> lock(sink.mu);
-    sink.events.clear();
+    std::lock_guard<std::mutex> lock(sink->mu);
+    sink->events.clear();
   }
   write_bytes_.store(0, std::memory_order_relaxed);
   read_bytes_.store(0, std::memory_order_relaxed);

@@ -13,9 +13,9 @@
 /// rank's program order — so serial and SPMD executions of the same workload
 /// yield identical `events()` streams.
 
-#include <array>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -50,9 +50,17 @@ struct IoEvent {
   double codec_seconds = 0.0;
 };
 
-/// Thread-safe append-only event log with per-rank sinks.
+/// Thread-safe append-only event log with per-rank sinks. Ranks are mapped
+/// to sinks through a mixed hash (obs::rank_shard), so strided rank patterns
+/// — e.g. the one-aggregator-every-64-ranks shape of a large aggregated dump
+/// — spread across sinks instead of serializing on one lock.
 class TraceRecorder {
  public:
+  /// `nsinks` tunes the sink count; the 64-sink default is right for
+  /// hardware-thread-scale concurrency (SpmdEngine), and the serial/event
+  /// engines never contend at all.
+  explicit TraceRecorder(std::size_t nsinks = 64);
+
   void record(IoEvent event);
   void record_write(std::int64_t step, int level, int rank,
                     const std::string& path, std::uint64_t bytes);
@@ -93,15 +101,16 @@ class TraceRecorder {
   /// write-side production totals stay unpolluted by restart read-back.
   std::uint64_t total_read_bytes() const;
 
+  std::size_t nsinks() const { return sinks_.size(); }
+
  private:
-  static constexpr std::size_t kSinks = 64;
   struct Sink {
     mutable std::mutex mu;
     std::vector<IoEvent> events;
   };
   Sink& sink_for(int rank);
 
-  std::array<Sink, kSinks> sinks_;
+  std::vector<std::unique_ptr<Sink>> sinks_;
   std::atomic<std::uint64_t> write_bytes_{0};
   std::atomic<std::uint64_t> read_bytes_{0};
   std::atomic<std::size_t> count_{0};

@@ -8,6 +8,8 @@
 
 #include "codec/codec.hpp"
 #include "macsio/interfaces.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "staging/aggregator.hpp"
 #include "util/assert.hpp"
 #include "util/format.hpp"
@@ -159,7 +161,7 @@ namespace {
 /// empty stats.
 DumpStats run_macsio_rank(exec::RankCtx& ctx, const Params& params,
                           pfs::StorageBackend& backend,
-                          iostats::TraceRecorder* trace) {
+                          iostats::TraceRecorder* trace, obs::Probe probe) {
   params.validate();
   AMRIO_EXPECTS_MSG(ctx.nranks() == params.nprocs,
                     "run_macsio: engine ranks " << ctx.nranks()
@@ -226,7 +228,7 @@ DumpStats run_macsio_rank(exec::RankCtx& ctx, const Params& params,
       if (encoded) blob = cdc->encode(doc);
       const auto payloads = exec::gatherv_group(ctx, encoded ? blob : doc,
                                                 topo->members_of(group), agg,
-                                                kShipTag);
+                                                kShipTag, probe);
       if (rank == agg) {
         const std::string path =
             aggregated_file_path_for(params, *iface, group, dump);
@@ -292,6 +294,7 @@ DumpStats run_macsio_rank(exec::RankCtx& ctx, const Params& params,
     ctx.barrier();
 
     if (rank == 0) {
+      const std::size_t req_begin = stats.requests.size();
       std::uint64_t dump_bytes = 0;
       // Per-task codec results, re-derived deterministically from the raw
       // byte counts (plan is a pure function of size) — one chunk per doc.
@@ -373,6 +376,61 @@ DumpStats run_macsio_rank(exec::RankCtx& ctx, const Params& params,
           pfs::IoRequest{0, submit_time, root_path, root.size(), tier});
       stats.bytes_per_dump.push_back(dump_bytes);
       stats.total_bytes += dump_bytes;
+
+      if (probe.metrics) {
+        probe.metrics->add("macsio.dumps", 1);
+        probe.metrics->add("macsio.dump_bytes",
+                           static_cast<std::int64_t>(dump_bytes));
+      }
+      if (probe.tracer) {
+        // Span emission happens here, on rank 0, from the same pure plan()
+        // results the requests were built from — per-rank program order is
+        // engine-invariant, so the merged stream is byte-identical across
+        // serial/spmd/event engines.
+        const std::string label = "dump " + std::to_string(dump);
+        double phase_end = submit_time;
+        for (std::size_t i = req_begin; i < stats.requests.size(); ++i)
+          phase_end = std::max(phase_end, stats.requests[i].submit_time);
+        const std::uint64_t phase = probe.tracer->record(
+            obs::Span{0, 0, -1, "dump", label, submit_time, phase_end});
+        std::vector<std::uint64_t> encode_span(
+            static_cast<std::size_t>(params.nprocs), 0);
+        for (int r = 0; r < params.nprocs; ++r) {
+          const double cpu = encs[static_cast<std::size_t>(r)].cpu_seconds;
+          if (cpu <= 0.0) continue;
+          encode_span[static_cast<std::size_t>(r)] = probe.tracer->record(
+              obs::Span{0, phase, r, "encode", label, submit_time,
+                        submit_time + cpu});
+        }
+        if (aggregated) {
+          for (int g = 0; g < topo->ngroups(); ++g) {
+            const int agg = topo->aggregator_of_group(g);
+            double encode_gate = 0.0;
+            std::uint64_t shipped = 0;
+            int nmessages = 0;
+            for (int r : topo->members_of(g)) {
+              encode_gate = std::max(
+                  encode_gate, encs[static_cast<std::size_t>(r)].cpu_seconds);
+              if (r != agg) {
+                shipped += encs[static_cast<std::size_t>(r)].out_bytes;
+                ++nmessages;
+              }
+            }
+            const double ship_start = submit_time + encode_gate;
+            const double ready =
+                ship_start + staging::ship_cost(agg_cfg, shipped, nmessages);
+            if (ready <= ship_start) continue;
+            const std::uint64_t ship = probe.tracer->record(
+                obs::Span{0, phase, agg, "ship", label, ship_start, ready, 0.0,
+                          "agg_link"});
+            for (int r : topo->members_of(g)) {
+              const std::uint64_t from =
+                  encode_span[static_cast<std::size_t>(r)];
+              if (from != 0) probe.tracer->edge(from, ship);
+            }
+          }
+        }
+      }
     }
     ctx.barrier();
   }
@@ -391,7 +449,7 @@ DumpStats run_macsio_rank(exec::RankCtx& ctx, const Params& params,
 /// empty stats.
 RestartStats run_restart_rank(exec::RankCtx& ctx, const Params& params,
                               pfs::StorageBackend& backend,
-                              iostats::TraceRecorder* trace) {
+                              iostats::TraceRecorder* trace, obs::Probe probe) {
   params.validate();
   AMRIO_EXPECTS_MSG(ctx.nranks() == params.nprocs,
                     "run_restart: engine ranks " << ctx.nranks()
@@ -483,7 +541,7 @@ RestartStats run_restart_rank(exec::RankCtx& ctx, const Params& params,
       }
     }
     std::vector<std::byte> blob =
-        exec::scatterv_group(ctx, payloads, members, agg, kRestageTag);
+        exec::scatterv_group(ctx, payloads, members, agg, kRestageTag, probe);
     doc = encoded ? cdc->decode(blob) : std::move(blob);
   } else {
     // Every rank reads its own byte range of its dump file (concurrent
@@ -527,8 +585,10 @@ RestartStats run_restart_rank(exec::RankCtx& ctx, const Params& params,
     stats.raw_bytes = plan.raw_bytes();
     stats.encoded_bytes = plan.encoded_bytes();
     stats.decode_gate = plan.decode_gate();
+    std::vector<double> group_cost;  // per-group fan-out cost (aggregated)
     if (aggregated) {
       // Concurrent groups: the slowest scatter gates the restart.
+      group_cost.assign(static_cast<std::size_t>(topo->ngroups()), 0.0);
       for (int g = 0; g < topo->ngroups(); ++g) {
         const int agg = topo->aggregator_of_group(g);
         std::uint64_t shipped = 0;
@@ -538,9 +598,10 @@ RestartStats run_restart_rank(exec::RankCtx& ctx, const Params& params,
           shipped += plan.slices[static_cast<std::size_t>(r)].encoded_bytes;
           ++nmessages;
         }
-        stats.scatter_seconds = std::max(
-            stats.scatter_seconds, staging::ship_cost(agg_cfg, shipped,
-                                                      nmessages));
+        group_cost[static_cast<std::size_t>(g)] =
+            staging::ship_cost(agg_cfg, shipped, nmessages);
+        stats.scatter_seconds = std::max(stats.scatter_seconds,
+                                         group_cost[static_cast<std::size_t>(g)]);
       }
     }
     stats.requests = plan.read_requests(0.0, params.restart_from_bb);
@@ -563,6 +624,55 @@ RestartStats run_restart_rank(exec::RankCtx& ctx, const Params& params,
     };
     read_meta(root_file_path(params, dump));
     if (aggregated) read_meta(aggregated_index_path_for(params, *iface, dump));
+
+    if (probe.metrics) {
+      probe.metrics->add("macsio.restarts", 1);
+      probe.metrics->add("restart.raw_bytes",
+                         static_cast<std::int64_t>(stats.raw_bytes));
+      probe.metrics->add("restart.encoded_bytes",
+                         static_cast<std::int64_t>(stats.encoded_bytes));
+    }
+    if (probe.tracer) {
+      // Dump-side instrumentation in reverse, emitted by rank 0 from the
+      // pure restage plan — engine-invariant like the dump spans. Data
+      // arrival is the group's scatter cost (aggregated) or the restart
+      // epoch (direct reads are timed by the SimFs replay instead).
+      const std::string label = "restart " + std::to_string(dump);
+      double phase_end = 0.0;
+      for (int r = 0; r < params.nprocs; ++r) {
+        const double arrival =
+            aggregated ? group_cost[static_cast<std::size_t>(topo->group_of(r))]
+                       : 0.0;
+        phase_end = std::max(
+            arrival + plan.slices[static_cast<std::size_t>(r)].decode_seconds,
+            phase_end);
+      }
+      const std::uint64_t phase = probe.tracer->record(
+          obs::Span{0, 0, -1, "restart", label, 0.0, phase_end});
+      std::vector<std::uint64_t> scatter_span;
+      if (aggregated) {
+        scatter_span.assign(static_cast<std::size_t>(topo->ngroups()), 0);
+        for (int g = 0; g < topo->ngroups(); ++g) {
+          if (group_cost[static_cast<std::size_t>(g)] <= 0.0) continue;
+          scatter_span[static_cast<std::size_t>(g)] = probe.tracer->record(
+              obs::Span{0, phase, topo->aggregator_of_group(g), "scatter",
+                        label, 0.0, group_cost[static_cast<std::size_t>(g)],
+                        0.0, "agg_link"});
+        }
+      }
+      for (int r = 0; r < params.nprocs; ++r) {
+        const double decode =
+            plan.slices[static_cast<std::size_t>(r)].decode_seconds;
+        if (decode <= 0.0) continue;
+        const int g = aggregated ? topo->group_of(r) : -1;
+        const double arrival =
+            aggregated ? group_cost[static_cast<std::size_t>(g)] : 0.0;
+        const std::uint64_t span = probe.tracer->record(obs::Span{
+            0, phase, r, "decode", label, arrival, arrival + decode});
+        if (aggregated && scatter_span[static_cast<std::size_t>(g)] != 0)
+          probe.tracer->edge(scatter_span[static_cast<std::size_t>(g)], span);
+      }
+    }
   }
   ctx.barrier();
   return stats;
@@ -581,10 +691,10 @@ std::uint64_t restart_hash(std::span<const std::byte> data) {
 
 RestartStats run_restart(exec::Engine& engine, const Params& params,
                          pfs::StorageBackend& backend,
-                         iostats::TraceRecorder* trace) {
+                         iostats::TraceRecorder* trace, obs::Probe probe) {
   RestartStats result;
   engine.run([&](exec::RankCtx& ctx) {
-    RestartStats local = run_restart_rank(ctx, params, backend, trace);
+    RestartStats local = run_restart_rank(ctx, params, backend, trace, probe);
     if (ctx.rank() == 0) result = std::move(local);
   });
   return result;
@@ -592,26 +702,26 @@ RestartStats run_restart(exec::Engine& engine, const Params& params,
 
 DumpStats run_macsio(exec::Engine& engine, const Params& params,
                      pfs::StorageBackend& backend,
-                     iostats::TraceRecorder* trace) {
+                     iostats::TraceRecorder* trace, obs::Probe probe) {
   DumpStats result;
   engine.run([&](exec::RankCtx& ctx) {
-    DumpStats local = run_macsio_rank(ctx, params, backend, trace);
+    DumpStats local = run_macsio_rank(ctx, params, backend, trace, probe);
     if (ctx.rank() == 0) result = std::move(local);
   });
   return result;
 }
 
 DumpStats run_macsio(const Params& params, pfs::StorageBackend& backend,
-                     iostats::TraceRecorder* trace) {
+                     iostats::TraceRecorder* trace, obs::Probe probe) {
   exec::SerialEngine engine(params.nprocs);
-  return run_macsio(engine, params, backend, trace);
+  return run_macsio(engine, params, backend, trace, probe);
 }
 
 DumpStats run_macsio_spmd(simmpi::Comm& comm, const Params& params,
                           pfs::StorageBackend& backend,
-                          iostats::TraceRecorder* trace) {
+                          iostats::TraceRecorder* trace, obs::Probe probe) {
   exec::CommCtx ctx(comm);
-  return run_macsio_rank(ctx, params, backend, trace);
+  return run_macsio_rank(ctx, params, backend, trace, probe);
 }
 
 }  // namespace amrio::macsio

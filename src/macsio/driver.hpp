@@ -36,6 +36,7 @@
 #include "iostats/trace.hpp"
 #include "macsio/params.hpp"
 #include "macsio/part.hpp"
+#include "obs/probe.hpp"
 #include "pfs/backend.hpp"
 #include "pfs/simfs.hpp"
 #include "simmpi/comm.hpp"
@@ -70,9 +71,20 @@ struct DumpStats {
 /// and return the full statistics. Trace events use step = dump index,
 /// level = 0 for task data and level = -1 for root metadata (MACSio has no
 /// AMR-level concept — the granularity gap the paper discusses in §III-B).
+///
+/// `probe` (optional) turns on observability: per-rank "encode" spans
+/// [submit, submit + modeled cpu], per-group "ship" spans for the two-phase
+/// gatherv [submit + encode gate, subfile ready] with encode→ship
+/// happens-before edges, and a per-dump "dump" phase span on the driver
+/// track (rank −1) covering the submission window. Spans are emitted by
+/// rank 0 from the gathered byte counts (codec plans are pure in the raw
+/// size), so the stream is byte-identical across serial/spmd/event engines.
+/// Metrics: macsio.dumps / macsio.dump_bytes counters plus the
+/// exec.gatherv.* ship counters from the collectives themselves.
 DumpStats run_macsio(exec::Engine& engine, const Params& params,
                      pfs::StorageBackend& backend,
-                     iostats::TraceRecorder* trace = nullptr);
+                     iostats::TraceRecorder* trace = nullptr,
+                     obs::Probe probe = {});
 
 /// Checkpoint-restart read-back statistics — the write-side DumpStats in
 /// reverse. Byte-conserving by construction: `task_bytes` equals the written
@@ -112,9 +124,17 @@ struct RestartStats {
 /// `params.num_dumps - 1` to exist in `backend` (run the dump loop first).
 /// Works against accounting-only backends too: sizes and requests stay
 /// exact, contents degrade to zero bytes.
+///
+/// `probe` (optional) mirrors the dump-side instrumentation in reverse:
+/// per-group "scatter" spans [0, group fan-out cost], per-rank "decode"
+/// spans [arrival, arrival + decode cpu] with scatter→decode edges, and a
+/// "restart" phase span on the driver track (rank −1). Emitted by rank 0,
+/// engine-invariant. Metrics: macsio.restarts, restart.raw_bytes /
+/// restart.encoded_bytes, plus exec.scatterv.* from the collective.
 RestartStats run_restart(exec::Engine& engine, const Params& params,
                          pfs::StorageBackend& backend,
-                         iostats::TraceRecorder* trace = nullptr);
+                         iostats::TraceRecorder* trace = nullptr,
+                         obs::Probe probe = {});
 
 /// Deterministic FNV-1a content hash used for `RestartStats::task_hash` —
 /// exposed so tests can hash expected documents with the same function.
@@ -122,14 +142,16 @@ std::uint64_t restart_hash(std::span<const std::byte> data);
 
 /// Convenience: run on a fiber-scheduled SerialEngine sized params.nprocs.
 DumpStats run_macsio(const Params& params, pfs::StorageBackend& backend,
-                     iostats::TraceRecorder* trace = nullptr);
+                     iostats::TraceRecorder* trace = nullptr,
+                     obs::Probe probe = {});
 
 /// Per-rank entry point for code already inside simmpi::run_spmd with
 /// comm.size() == params.nprocs. Rank 0's return value carries the full
 /// statistics; other ranks return empty stats.
 DumpStats run_macsio_spmd(simmpi::Comm& comm, const Params& params,
                           pfs::StorageBackend& backend,
-                          iostats::TraceRecorder* trace = nullptr);
+                          iostats::TraceRecorder* trace = nullptr,
+                          obs::Probe probe = {});
 
 /// Path of a task's dump file (group file under MIF, shared file under SIF,
 /// the rank's group subfile under two-phase aggregation).

@@ -1,0 +1,133 @@
+#include "obs/critical_path.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace amrio::obs {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Total order used to break ties when choosing the next chain span: prefer
+// the latest-ending, then latest-starting, then lowest id (deterministic).
+bool better_candidate(const Span& a, const Span& b) {
+  if (a.end != b.end) return a.end > b.end;
+  if (a.start != b.start) return a.start > b.start;
+  return a.id < b.id;
+}
+
+}  // namespace
+
+CriticalPathReport critical_path(const std::vector<Span>& spans,
+                                 const std::vector<SpanEdge>& edges) {
+  CriticalPathReport report;
+  if (spans.empty()) return report;
+
+  std::unordered_map<std::uint64_t, const Span*> by_id;
+  by_id.reserve(spans.size());
+  for (const Span& s : spans) by_id.emplace(s.id, &s);
+
+  std::unordered_map<std::uint64_t, std::vector<const Span*>> incoming;
+  for (const SpanEdge& e : edges) {
+    auto it = by_id.find(e.from);
+    if (it != by_id.end()) incoming[e.to].push_back(it->second);
+  }
+
+  report.t0 = spans.front().start;
+  report.t1 = spans.front().end;
+  const Span* cur = &spans.front();
+  for (const Span& s : spans) {
+    report.t0 = std::min(report.t0, s.start);
+    report.t1 = std::max(report.t1, s.end);
+    if (better_candidate(s, *cur)) cur = &s;
+  }
+  report.makespan = report.t1 - report.t0;
+
+  std::map<std::string, double> stage_seconds;
+  std::map<std::string, double> resource_wait;
+  std::unordered_set<std::uint64_t> visited;
+  double upper = report.t1;  // everything in [upper, t1] is attributed
+
+  while (cur != nullptr) {
+    visited.insert(cur->id);
+    report.chain.push_back(cur->id);
+    const double seg_end = std::min(cur->end, upper);
+    const double seg_start = std::min(cur->start, seg_end);
+    if (seg_end > seg_start) stage_seconds[cur->stage] += seg_end - seg_start;
+    if (cur->wait > 0 && !cur->resource.empty())
+      resource_wait[cur->resource] += cur->wait;
+    upper = std::min(upper, seg_start);
+
+    // Predecessor: the latest-ending unvisited source of an incoming
+    // happens-before edge, else the latest-ending unvisited span that ends
+    // at or before the current coverage frontier (time adjacency).
+    const Span* pred = nullptr;
+    auto in_it = incoming.find(cur->id);
+    if (in_it != incoming.end()) {
+      for (const Span* src : in_it->second) {
+        if (visited.count(src->id)) continue;
+        if (pred == nullptr || better_candidate(*src, *pred)) pred = src;
+      }
+    }
+    if (pred == nullptr) {
+      for (const Span& s : spans) {
+        if (s.end > upper + kEps || visited.count(s.id)) continue;
+        if (pred == nullptr || better_candidate(s, *pred)) pred = &s;
+      }
+    }
+    if (pred != nullptr) {
+      const double gap = upper - pred->end;
+      if (gap > kEps) {
+        stage_seconds["compute"] += gap;
+        upper = pred->end;
+      }
+    } else {
+      const double gap = upper - report.t0;
+      if (gap > kEps) stage_seconds["compute"] += gap;
+    }
+    cur = pred;
+  }
+  std::reverse(report.chain.begin(), report.chain.end());
+
+  for (const auto& [stage, seconds] : stage_seconds) {
+    StageShare share;
+    share.stage = stage;
+    share.seconds = seconds;
+    share.frac = report.makespan > 0 ? seconds / report.makespan : 0.0;
+    report.stages.push_back(std::move(share));
+  }
+  std::sort(report.stages.begin(), report.stages.end(),
+            [](const StageShare& a, const StageShare& b) {
+              if (a.seconds != b.seconds) return a.seconds > b.seconds;
+              return a.stage < b.stage;
+            });
+  if (!report.stages.empty()) {
+    report.critical_stage = report.stages.front().stage;
+    report.critical_frac = report.stages.front().frac;
+  }
+
+  double best_wait = 0.0;
+  for (const auto& [resource, wait] : resource_wait) {
+    if (report.binding_resource.empty() || wait > best_wait) {
+      report.binding_resource = resource;
+      best_wait = wait;
+    }
+  }
+  if (report.binding_resource.empty())
+    report.binding_resource = report.critical_stage;
+
+  return report;
+}
+
+std::string summarize(const CriticalPathReport& report) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%s %.1f%% (binding: %s)",
+                report.critical_stage.c_str(), 100.0 * report.critical_frac,
+                report.binding_resource.c_str());
+  return buf;
+}
+
+}  // namespace amrio::obs

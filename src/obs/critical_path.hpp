@@ -1,0 +1,49 @@
+#pragma once
+/// \file critical_path.hpp
+/// Critical-path attribution over a merged span stream: walk backward from
+/// the last-ending span along happens-before edges (falling back to
+/// time-adjacency on the virtual clock), attribute every second of
+/// [first start, last end] to a stage — gaps between chained spans are
+/// attributed to "compute" — and name the binding resource from the
+/// accumulated per-span wait. By construction the per-stage seconds sum to
+/// exactly the makespan, so "stage times sum to >= 95% of makespan" holds
+/// for every configuration.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+
+namespace amrio::obs {
+
+struct StageShare {
+  std::string stage;
+  double seconds = 0.0;
+  double frac = 0.0;  ///< seconds / makespan
+};
+
+struct CriticalPathReport {
+  double t0 = 0.0;        ///< earliest span start
+  double t1 = 0.0;        ///< latest span end
+  double makespan = 0.0;  ///< t1 - t0
+  /// Per-stage attribution, sorted by seconds descending (ties: stage name).
+  std::vector<StageShare> stages;
+  std::string critical_stage;  ///< stages.front().stage
+  double critical_frac = 0.0;  ///< stages.front().frac
+  /// Resource with the most accumulated wait along the path; falls back to
+  /// the critical stage name when no span on the path waited on anything.
+  std::string binding_resource;
+  /// Span ids on the walked chain, from first to last.
+  std::vector<std::uint64_t> chain;
+};
+
+/// Analyze a merged span stream (as returned by Tracer::spans()/edges()).
+/// Returns a zeroed report if `spans` is empty.
+CriticalPathReport critical_path(const std::vector<Span>& spans,
+                                 const std::vector<SpanEdge>& edges);
+
+/// One-line rendering: "drain 62.1% (binding: drain_stream)".
+std::string summarize(const CriticalPathReport& report);
+
+}  // namespace amrio::obs

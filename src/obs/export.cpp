@@ -1,0 +1,192 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/json.hpp"
+
+namespace amrio::obs {
+namespace {
+
+constexpr double kMicros = 1e6;  // virtual seconds -> trace microseconds
+
+std::string track_name(int rank) {
+  return rank < 0 ? std::string("driver") : "rank " + std::to_string(rank);
+}
+
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("obs: cannot open " + path);
+  return out;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const std::vector<Span>& spans,
+                        const std::vector<SpanEdge>& edges) {
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("displayTimeUnit").value("ms");
+  w.key("traceEvents").begin_array();
+
+  // Thread-name metadata, one per distinct rank track, rank order.
+  std::set<int> ranks;
+  for (const Span& s : spans) ranks.insert(s.rank);
+  for (int rank : ranks) {
+    w.begin_object();
+    w.key("ph").value("M");
+    w.key("pid").value(0);
+    w.key("tid").value(rank + 1);
+    w.key("name").value("thread_name");
+    w.key("args").begin_object();
+    w.key("name").value(track_name(rank));
+    w.end_object();
+    w.end_object();
+  }
+
+  std::unordered_map<std::uint64_t, const Span*> by_id;
+  by_id.reserve(spans.size());
+  for (const Span& s : spans) by_id.emplace(s.id, &s);
+
+  for (const Span& s : spans) {
+    w.begin_object();
+    w.key("ph").value("X");
+    w.key("pid").value(0);
+    w.key("tid").value(s.rank + 1);
+    w.key("name").value(s.stage);
+    w.key("cat").value("pipeline");
+    w.key("ts").value(s.start * kMicros);
+    w.key("dur").value((s.end - s.start) * kMicros);
+    w.key("args").begin_object();
+    w.key("id").value(std::uint64_t{s.id});
+    if (s.parent != 0) w.key("parent").value(std::uint64_t{s.parent});
+    if (!s.detail.empty()) w.key("detail").value(s.detail);
+    if (s.wait > 0) {
+      w.key("wait_s").value(s.wait);
+      w.key("resource").value(s.resource);
+    }
+    w.end_object();
+    w.end_object();
+  }
+
+  // Happens-before edges as flow events: "s" anchored at the source span's
+  // end, "f" (bp:"e") binding to the destination slice.
+  std::uint64_t flow = 0;
+  for (const SpanEdge& e : edges) {
+    auto from_it = by_id.find(e.from);
+    auto to_it = by_id.find(e.to);
+    if (from_it == by_id.end() || to_it == by_id.end()) continue;
+    const Span& from = *from_it->second;
+    const Span& to = *to_it->second;
+    ++flow;
+    w.begin_object();
+    w.key("ph").value("s");
+    w.key("pid").value(0);
+    w.key("tid").value(from.rank + 1);
+    w.key("name").value("dep");
+    w.key("cat").value("edge");
+    w.key("id").value(std::uint64_t{flow});
+    w.key("ts").value(from.end * kMicros);
+    w.end_object();
+    w.begin_object();
+    w.key("ph").value("f");
+    w.key("bp").value("e");
+    w.key("pid").value(0);
+    w.key("tid").value(to.rank + 1);
+    w.key("name").value("dep");
+    w.key("cat").value("edge");
+    w.key("id").value(std::uint64_t{flow});
+    w.key("ts").value(to.start * kMicros);
+    w.end_object();
+  }
+
+  w.end_array();
+  w.end_object();
+  os << "\n";
+}
+
+void write_metrics_json(std::ostream& os, const MetricsSnapshot& snap) {
+  util::JsonWriter w(os, /*pretty=*/true);
+  w.begin_object();
+
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : snap.counters) w.key(name).value(v);
+  w.end_object();
+
+  w.key("gauges").begin_object();
+  for (const auto& [name, v] : snap.gauges) w.key(name).value(v);
+  w.end_object();
+
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : snap.histograms) {
+    w.key(name).begin_object();
+    w.key("quantum").value(h.quantum);
+    w.key("count").value(h.count);
+    w.key("sum").value(h.sum());
+    w.key("mean").value(h.mean());
+    w.key("buckets").begin_object();
+    for (const auto& [bucket, count] : h.buckets)
+      w.key(std::to_string(bucket)).value(count);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("series").begin_object();
+  for (const auto& [name, ts] : snap.series) {
+    w.key(name).begin_array();
+    for (const auto& [t, v] : ts.samples) {
+      w.begin_array();
+      w.value(t);
+      w.value(v);
+      w.end_array();
+    }
+    w.end_array();
+  }
+  w.end_object();
+
+  w.end_object();
+  os << "\n";
+}
+
+void write_metrics_csv(std::ostream& os, const MetricsSnapshot& snap) {
+  os << "kind,name,key,value\n";
+  auto fmt = [](double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return std::string(buf);
+  };
+  for (const auto& [name, v] : snap.counters)
+    os << "counter," << name << ",," << v << "\n";
+  for (const auto& [name, v] : snap.gauges)
+    os << "gauge," << name << ",," << fmt(v) << "\n";
+  for (const auto& [name, h] : snap.histograms) {
+    os << "histogram," << name << ",count," << h.count << "\n";
+    os << "histogram," << name << ",sum," << fmt(h.sum()) << "\n";
+    for (const auto& [bucket, count] : h.buckets)
+      os << "histogram_bucket," << name << "," << bucket << "," << count
+         << "\n";
+  }
+  for (const auto& [name, ts] : snap.series)
+    for (const auto& [t, v] : ts.samples)
+      os << "sample," << name << "," << fmt(t) << "," << fmt(v) << "\n";
+}
+
+void export_trace(const std::string& path, const Tracer& tracer) {
+  std::ofstream out = open_or_throw(path);
+  write_chrome_trace(out, tracer.spans(), tracer.edges());
+}
+
+void export_metrics(const std::string& path, const MetricsSnapshot& snap) {
+  std::ofstream out = open_or_throw(path);
+  if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0)
+    write_metrics_csv(out, snap);
+  else
+    write_metrics_json(out, snap);
+}
+
+}  // namespace amrio::obs

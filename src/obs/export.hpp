@@ -1,0 +1,41 @@
+#pragma once
+/// \file export.hpp
+/// Exporters for the observability layer: Chrome-trace/Perfetto JSON for the
+/// span stream (ranks as threads on the virtual-time axis — load the file at
+/// https://ui.perfetto.dev or chrome://tracing) and flat JSON/CSV for the
+/// metrics snapshot. All output is deterministic: identical span/metric
+/// streams render byte-identical files regardless of the engine that
+/// produced them.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace amrio::obs {
+
+/// Chrome trace event format: one "X" (complete) event per span with ts/dur
+/// in virtual microseconds, tid = rank + 1 (the rank -1 driver track is
+/// tid 0), thread_name metadata per track, and "s"/"f" flow events per
+/// happens-before edge.
+void write_chrome_trace(std::ostream& os, const std::vector<Span>& spans,
+                        const std::vector<SpanEdge>& edges);
+
+/// Metrics snapshot as nested JSON: {counters, gauges, histograms, series}.
+void write_metrics_json(std::ostream& os, const MetricsSnapshot& snap);
+
+/// Metrics snapshot as flat CSV: kind,name,key,value — one row per counter,
+/// gauge, histogram stat/bucket, and series sample.
+void write_metrics_csv(std::ostream& os, const MetricsSnapshot& snap);
+
+/// Write `tracer`'s merged snapshot to `path` as Chrome-trace JSON.
+/// Throws std::runtime_error when the file cannot be opened.
+void export_trace(const std::string& path, const Tracer& tracer);
+
+/// Write `snap` to `path` — CSV when the path ends in ".csv", JSON otherwise.
+/// Throws std::runtime_error when the file cannot be opened.
+void export_metrics(const std::string& path, const MetricsSnapshot& snap);
+
+}  // namespace amrio::obs

@@ -1,0 +1,24 @@
+#pragma once
+/// \file probe.hpp
+/// The instrumentation handle threaded through the pipeline. Every
+/// instrumented layer (`codec` stage inside the macsio driver, `exec`
+/// collectives, `StagingBackend`, `pfs::SimFs`, `plotfile::write_plotfile`)
+/// takes an `obs::Probe` — a pair of optional pointers. A default-constructed
+/// probe disables instrumentation with near-zero overhead (two null checks
+/// per site), so hot paths don't fork on an #ifdef.
+
+namespace amrio::obs {
+
+class Tracer;
+class MetricsRegistry;
+
+struct Probe {
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
+
+  explicit operator bool() const {
+    return tracer != nullptr || metrics != nullptr;
+  }
+};
+
+}  // namespace amrio::obs

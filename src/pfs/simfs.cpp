@@ -6,6 +6,8 @@
 #include <map>
 #include <queue>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
@@ -55,6 +57,11 @@ int SimFs::node_of(int client) const {
 }
 
 std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests) {
+  return run(requests, obs::Probe{});
+}
+
+std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests,
+                                 obs::Probe probe) {
   // Request state while streaming chunks over the OST layer. Direct writes,
   // direct reads, burst-buffer drains, and prefetches all become flights;
   // they differ only in the client-side rate cap and in what happens at
@@ -73,6 +80,22 @@ std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests) {
   };
 
   std::vector<IoResult> results(requests.size());
+
+  // Per-request observability bookkeeping, filled during the event loop and
+  // turned into spans/metrics *after* it, in request-index order — emission
+  // inherits the loop's determinism and never perturbs the timeline.
+  struct Aux {
+    double service_sum = 0.0;   // summed chunk service time (no queue waits)
+    double flight_start = 0.0;  // direct issue / drain start / prefetch start
+    double absorb_start = 0.0;  // staged writes: when the absorb ran
+    double read_start = 0.0;    // BB reads: when the node-local read began
+    bool capacity_stalled = false;  // ever parked on the capacity wait list
+    bool prefetch_gated = false;    // BB read gated on a pending prefetch
+  };
+  std::vector<Aux> aux(requests.size());
+  const bool want_series = cfg_.bb.enabled && probe.metrics != nullptr;
+  std::vector<std::pair<double, std::int64_t>> occ_deltas;    // occupancy
+  std::vector<std::pair<double, std::int64_t>> drain_deltas;  // busy streams
 
   // Phase 1: metadata. The MDS services creates FIFO by submit time; ties are
   // broken by (client, file) then request index, so the service order — and
@@ -216,6 +239,7 @@ std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests) {
       fl.first_ost = res.first_ost;
       fl.ready = open_end;
       fl.rate = cfg_.client_bandwidth;
+      aux[idx].flight_start = open_end;
       flights.push_back(fl);
       pq.push({fl.ready, kChunk, seq++, flights.size() - 1});
     }
@@ -250,9 +274,12 @@ std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests) {
       if (cfg_.bb.capacity > 0 &&
           nd.occupancy + req.bytes > cfg_.bb.capacity) {
         nd.waiting.push_back(idx);  // woken when a drain/read frees space
+        aux[idx].capacity_stalled = true;
         continue;
       }
       nd.occupancy += req.bytes;  // reserve staging space for the extent
+      if (want_series)
+        occ_deltas.emplace_back(ev.time, static_cast<std::int64_t>(req.bytes));
       if (nd.idle_prefetch_streams == 0) {  // all streams busy: queue FIFO
         nd.pending_prefetch.push_back(idx);
         continue;
@@ -266,6 +293,7 @@ std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests) {
       fl.rate = cfg_.bb.drain_bandwidth;
       fl.is_prefetch = true;
       fl.node = node;
+      aux[idx].flight_start = ev.time;
       flights.push_back(fl);
       pq.push({fl.ready, kChunk, seq++, flights.size() - 1});
       continue;
@@ -284,15 +312,18 @@ std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests) {
           // completion of the key wakes the waiters to re-check (FIFO), so
           // reads drain the pool between prefetch waves.
           read_waiters[key].push_back(idx);
+          aux[idx].prefetch_gated = true;
           continue;
         }
         // Completions may already be *booked* (their last chunks were
         // issued) but lie in the future — the read still cannot start
         // before the bytes it consumes are resident.
+        if (st.resident_time > start) aux[idx].prefetch_gated = true;
         start = std::max(start, st.resident_time);
       }
       Node& nd = nodes[static_cast<std::size_t>(node_of(req.client))];
       start = std::max(start, nd.read_free);  // node read server is FIFO
+      aux[idx].read_start = start;
       const double read_end =
           start + static_cast<double>(req.bytes) / cfg_.bb.read_bandwidth;
       nd.read_free = read_end;
@@ -306,6 +337,8 @@ std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests) {
         const std::uint64_t freed = std::min(pf->second.resident, req.bytes);
         pf->second.resident -= freed;
         nd.occupancy -= freed;
+        if (want_series && freed > 0)
+          occ_deltas.emplace_back(read_end, -static_cast<std::int64_t>(freed));
         if (freed > 0) wake_waiting(nd, read_end);
       }
       continue;
@@ -322,13 +355,17 @@ std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests) {
       if (cfg_.bb.capacity > 0 &&
           nd.occupancy + req.bytes > cfg_.bb.capacity) {
         nd.waiting.push_back(idx);  // woken when a drain frees space
+        aux[idx].capacity_stalled = true;
         continue;
       }
       // Node-local absorb: burst-buffer bandwidth alone (no NIC crossing).
       const double absorb_end =
           ev.time + static_cast<double>(req.bytes) / cfg_.bb.write_bandwidth;
       nd.occupancy += req.bytes;
+      if (want_series)
+        occ_deltas.emplace_back(ev.time, static_cast<std::int64_t>(req.bytes));
       nd.ingest_free = absorb_end;
+      aux[idx].absorb_start = ev.time;
       results[idx].end = absorb_end;  // perceived completion
       pq.push({absorb_end, kDrainStart, seq++, idx});
       continue;
@@ -351,6 +388,8 @@ std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests) {
       fl.rate = cfg_.bb.drain_bandwidth;
       fl.is_drain = true;
       fl.node = node;
+      aux[idx].flight_start = ev.time;
+      if (want_series) drain_deltas.emplace_back(ev.time, 1);
       flights.push_back(fl);
       pq.push({fl.ready, kChunk, seq++, flights.size() - 1});
       continue;
@@ -374,6 +413,7 @@ std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests) {
     ost_free[static_cast<std::size_t>(ost)] = end;
     fl.ready = end;
     fl.remaining -= chunk;
+    aux[fl.index].service_sum += service;
 
     if (fl.remaining > 0) {
       pq.push({fl.ready, kChunk, seq++, ev.id});
@@ -403,6 +443,7 @@ std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests) {
         pf.rate = cfg_.bb.drain_bandwidth;
         pf.is_prefetch = true;
         pf.node = node_id;
+        aux[next].flight_start = end;
         flights.push_back(pf);
         pq.push({end, kChunk, seq++, flights.size() - 1});
       }
@@ -430,6 +471,10 @@ std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests) {
     // absorbs/prefetches.
     Node& nd = nodes[static_cast<std::size_t>(fl.node)];
     nd.occupancy -= res.bytes;
+    if (want_series) {
+      occ_deltas.emplace_back(end, -static_cast<std::int64_t>(res.bytes));
+      drain_deltas.emplace_back(end, -1);
+    }
     nd.slots.push(end);
     if (!nd.pending_drains.empty()) {
       const std::size_t next = nd.pending_drains.front();
@@ -452,6 +497,201 @@ std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests) {
                       "SimFs: batch ended with capacity-stalled or gated "
                       "requests the bb tier can never serve — raise "
                       "bb.capacity or interleave reads with the prefetches");
+  }
+
+  // ------------------------------------------------------- observability
+  // Spans and metrics are emitted here, in request-index order, from the aux
+  // data the (deterministic) event loop recorded — so the span stream is as
+  // engine-invariant as the results themselves.
+  if (probe.tracer != nullptr || probe.metrics != nullptr) {
+    constexpr double kEps = 1e-12;
+    constexpr double kSecQuantum = 1e-9;
+    obs::Tracer* tr = probe.tracer;
+    obs::MetricsRegistry* mx = probe.metrics;
+    auto observe = [&](const char* name, double v) {
+      if (mx != nullptr) mx->observe(name, v, kSecQuantum);
+    };
+    // Main span id per request, for the prefetch→bb_read edges below.
+    std::vector<std::uint64_t> span_of(requests.size(), 0);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const IoRequest& req = requests[i];
+      const IoResult& res = results[i];
+      const Aux& a = aux[i];
+      if (req.bytes == 0) continue;
+      if (mx != nullptr) {
+        mx->add("simfs.requests", 1);
+        mx->observe("simfs.mds.queue_s", res.open_start - req.submit_time,
+                    kSecQuantum);
+      }
+      const bool on_bb = res.tier == kTierBurstBuffer;
+      if (!on_bb) {
+        // Direct OST path (writes, cold reads, and — with the tier disabled
+        // — everything tagged for it): one span, wait = time in the OST
+        // FIFOs / NIC beyond the summed chunk service.
+        const bool is_write = res.op == kOpWrite;
+        const double queue_wait =
+            std::max(0.0, (res.end - res.open_end) - a.service_sum);
+        if (tr != nullptr) {
+          obs::Span s;
+          s.rank = req.client;
+          s.stage = is_write ? "pfs_write" : "pfs_read";
+          s.detail = req.file;
+          s.start = res.open_start;
+          s.end = res.end;
+          s.wait = queue_wait;
+          if (queue_wait > kEps) s.resource = "ost_queue";
+          span_of[i] = tr->record(std::move(s));
+        }
+        if (mx != nullptr)
+          mx->add(is_write ? "simfs.pfs.write_bytes" : "simfs.pfs.read_bytes",
+                  static_cast<std::int64_t>(req.bytes));
+        observe(is_write ? "simfs.pfs.write_queue_s" : "simfs.pfs.read_queue_s",
+                queue_wait);
+        observe(is_write ? "simfs.pfs.write_service_s"
+                         : "simfs.pfs.read_service_s",
+                a.service_sum);
+      } else if (res.op == kOpWrite) {
+        // Staged write: absorb (perceived) + async drain (durable), linked by
+        // a happens-before edge; a nested bb_stall child marks capacity or
+        // ingest gating ahead of the absorb.
+        const double stall = std::max(0.0, a.absorb_start - res.open_end);
+        const char* gate = a.capacity_stalled ? "bb_capacity" : "bb_ingest";
+        const double slot_wait = std::max(0.0, a.flight_start - res.end);
+        if (tr != nullptr) {
+          obs::Span absorb;
+          absorb.rank = req.client;
+          absorb.stage = "bb_absorb";
+          absorb.detail = req.file;
+          absorb.start = res.open_start;
+          absorb.end = res.end;
+          absorb.wait = stall;
+          if (stall > kEps) absorb.resource = gate;
+          const std::uint64_t absorb_id = tr->record(std::move(absorb));
+          span_of[i] = absorb_id;
+          if (stall > kEps) {
+            obs::Span st;
+            st.parent = absorb_id;
+            st.rank = req.client;
+            st.stage = "bb_stall";
+            st.detail = req.file;
+            st.start = res.open_end;
+            st.end = a.absorb_start;
+            st.wait = stall;
+            st.resource = gate;
+            tr->record(std::move(st));
+          }
+          obs::Span drain;
+          drain.rank = req.client;
+          drain.stage = "bb_drain";
+          drain.detail = req.file;
+          drain.start = res.end;
+          drain.end = res.pfs_end;
+          drain.wait = slot_wait;
+          if (slot_wait > kEps) drain.resource = "drain_stream";
+          const std::uint64_t drain_id = tr->record(std::move(drain));
+          tr->edge(absorb_id, drain_id);
+        }
+        if (mx != nullptr) {
+          mx->add("simfs.bb.absorb_bytes",
+                  static_cast<std::int64_t>(req.bytes));
+          mx->add("simfs.bb.drain_bytes", static_cast<std::int64_t>(req.bytes));
+          if (a.capacity_stalled) mx->add("simfs.bb.capacity_stalls", 1);
+        }
+        observe("simfs.bb.absorb_stall_s", stall);
+        observe("simfs.bb.drain_slot_wait_s", slot_wait);
+        observe("simfs.bb.drain_service_s", a.service_sum);
+      } else if (res.op == kOpPrefetch) {
+        const double wait = std::max(0.0, a.flight_start - res.open_end);
+        if (tr != nullptr) {
+          obs::Span s;
+          s.rank = req.client;
+          s.stage = "bb_prefetch";
+          s.detail = req.file;
+          s.start = res.open_start;
+          s.end = res.end;
+          s.wait = wait;
+          if (wait > kEps)
+            s.resource =
+                a.capacity_stalled ? "bb_capacity" : "prefetch_stream";
+          span_of[i] = tr->record(std::move(s));
+        }
+        if (mx != nullptr) {
+          mx->add("simfs.bb.prefetch_bytes",
+                  static_cast<std::int64_t>(req.bytes));
+          if (a.capacity_stalled) mx->add("simfs.bb.capacity_stalls", 1);
+        }
+        observe("simfs.bb.prefetch_wait_s", wait);
+      } else {  // BB-tier node-local read
+        const double wait = std::max(0.0, a.read_start - res.open_end);
+        if (tr != nullptr) {
+          obs::Span s;
+          s.rank = req.client;
+          s.stage = "bb_read";
+          s.detail = req.file;
+          s.start = res.open_start;
+          s.end = res.end;
+          s.wait = wait;
+          if (wait > kEps)
+            s.resource = a.prefetch_gated ? "prefetch_gate" : "bb_read_queue";
+          span_of[i] = tr->record(std::move(s));
+        }
+        if (mx != nullptr)
+          mx->add("simfs.bb.read_bytes", static_cast<std::int64_t>(req.bytes));
+        observe("simfs.bb.read_wait_s", wait);
+      }
+      observe("simfs.request.duration_s", res.end - res.open_start);
+    }
+
+    // Happens-before from the prefetch wave that staged a BB read's bytes:
+    // the latest same-(node, file) prefetch completing at or before the
+    // read's start.
+    if (tr != nullptr) {
+      for (std::size_t i = 0; i < requests.size(); ++i) {
+        const IoRequest& req = requests[i];
+        if (req.bytes == 0 || span_of[i] == 0) continue;
+        if (!(results[i].op == kOpRead &&
+              results[i].tier == kTierBurstBuffer && bb_on))
+          continue;
+        const std::string key = bb_key(req);
+        std::size_t best = requests.size();
+        for (std::size_t j = 0; j < requests.size(); ++j) {
+          if (requests[j].op != kOpPrefetch || span_of[j] == 0) continue;
+          if (bb_key(requests[j]) != key) continue;
+          if (results[j].end > aux[i].read_start + kEps) continue;
+          if (best == requests.size() || results[j].end > results[best].end)
+            best = j;
+        }
+        if (best != requests.size()) tr->edge(span_of[best], span_of[i]);
+      }
+    }
+
+    // Virtual-time series + peak gauge from the loop's delta streams. The
+    // deltas were recorded in event order (deterministic); a stable sort on
+    // time keeps that order within ties.
+    if (mx != nullptr && want_series) {
+      std::stable_sort(occ_deltas.begin(), occ_deltas.end(),
+                       [](const auto& x, const auto& y) {
+                         return x.first < y.first;
+                       });
+      std::int64_t occ = 0;
+      std::int64_t peak = 0;
+      for (const auto& [t, d] : occ_deltas) {
+        occ += d;
+        peak = std::max(peak, occ);
+        mx->sample("bb.occupancy_bytes", t, static_cast<double>(occ));
+      }
+      mx->gauge_max("simfs.bb.peak_occupancy_bytes",
+                    static_cast<double>(peak));
+      std::stable_sort(drain_deltas.begin(), drain_deltas.end(),
+                       [](const auto& x, const auto& y) {
+                         return x.first < y.first;
+                       });
+      std::int64_t busy = 0;
+      for (const auto& [t, d] : drain_deltas) {
+        busy += d;
+        mx->sample("bb.drain_streams_busy", t, static_cast<double>(busy));
+      }
+    }
   }
 
   return results;

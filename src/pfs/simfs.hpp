@@ -63,6 +63,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/probe.hpp"
+
 namespace amrio::pfs {
 
 /// Request/result tier tags.
@@ -156,6 +158,20 @@ class SimFs {
   /// submit-time ties are served in (client, file) order regardless of the
   /// order requests appear in the list.
   std::vector<IoResult> run(const std::vector<IoRequest>& requests);
+
+  /// Instrumented run: identical timeline, plus per-request spans and tier
+  /// metrics on `probe`. Spans land on the client's rank track —
+  /// "pfs_write"/"pfs_read" (direct, wait = OST queue time vs service),
+  /// "bb_absorb" (+ a nested "bb_stall" child while capacity/ingest gated),
+  /// "bb_drain" (absorb→drain happens-before edge, wait = stream-slot wait),
+  /// "bb_prefetch", and "bb_read" (edge from the latest prefetch of its
+  /// (node, file) key when prefetch-gated). Metrics: request/byte counters
+  /// per path, queue/service/stall histograms, and the bb.occupancy_bytes /
+  /// bb.drain_streams_busy virtual-time series. Emission happens after the
+  /// event loop in request-index order, so the spans are as deterministic as
+  /// the results.
+  std::vector<IoResult> run(const std::vector<IoRequest>& requests,
+                            obs::Probe probe);
 
   /// First OST index for a file (stable hash), exposed for tests.
   int ost_of(const std::string& file) const;

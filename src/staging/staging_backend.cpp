@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace amrio::staging {
@@ -37,6 +38,10 @@ pfs::FileHandle StagingBackend::open_append(const std::string& path) {
 void StagingBackend::write(pfs::FileHandle handle,
                            std::span<const std::byte> data) {
   stage_->write(handle, data);
+  // Commutative add only: ranks absorb concurrently under SpmdEngine.
+  if (probe_.metrics)
+    probe_.metrics->add("staging.absorb_bytes",
+                        static_cast<std::int64_t>(data.size()));
 }
 
 void StagingBackend::close(pfs::FileHandle handle) { stage_->close(handle); }
@@ -109,6 +114,12 @@ codec::CodecStats StagingBackend::codec_stats() const {
 std::vector<StagingBackend::DrainRecord> StagingBackend::drain_all() {
   std::vector<DrainRecord> drained;
   const auto paths = stage_->list("");  // sorted: deterministic replay order
+  if (probe_.metrics) {
+    // Drain entry is a driver-serial point: the staged image is complete, so
+    // pending_bytes() here is the true per-drain peak and gauge_max commutes.
+    probe_.metrics->gauge_max("staging.peak_pending_bytes",
+                              static_cast<double>(pending_bytes()));
+  }
   drained.reserve(paths.size());
   for (const auto& path : paths) {
     const std::uint64_t bytes = stage_->size(path);
@@ -139,6 +150,13 @@ std::vector<StagingBackend::DrainRecord> StagingBackend::drain_all() {
     {
       std::lock_guard<std::mutex> lock(mode_mu_);
       codec_stats_.add(-1, -1, enc);
+    }
+    if (probe_.metrics) {
+      probe_.metrics->add("staging.drain_files", 1);
+      probe_.metrics->add("staging.drain_raw_bytes",
+                          static_cast<std::int64_t>(bytes));
+      probe_.metrics->add("staging.drain_encoded_bytes",
+                          static_cast<std::int64_t>(enc.out_bytes));
     }
     drained.push_back(DrainRecord{path, bytes, enc.out_bytes});
   }

@@ -39,6 +39,7 @@
 
 #include "codec/codec.hpp"
 #include "codec/stats.hpp"
+#include "obs/probe.hpp"
 #include "pfs/backend.hpp"
 #include "pfs/simfs.hpp"
 
@@ -92,6 +93,13 @@ class StagingBackend final : public pfs::StorageBackend {
   /// them to a `pfs::SimFs` with an enabled BB tier to time the drain.
   std::vector<pfs::IoRequest> drain_requests(double clock, int client) const;
 
+  /// Attach a metrics probe (no virtual clock here — the byte path counts
+  /// absorb/drain traffic; the *time* spans come from SimFs's BB tier).
+  /// Absorb counters are commutative adds (engine-parity safe); the
+  /// peak-pending gauge is sampled at `drain_all` entry, a single-threaded
+  /// point, so snapshots stay engine-invariant.
+  void set_probe(obs::Probe probe) { probe_ = probe; }
+
   pfs::StorageBackend& final_store() { return *final_; }
   bool stores_contents() const override { return store_contents_; }
   const codec::Codec& codec() const { return *codec_; }
@@ -111,6 +119,7 @@ class StagingBackend final : public pfs::StorageBackend {
   mutable std::mutex mode_mu_;
   std::map<std::string, bool> append_continuation_;
   codec::CodecStats codec_stats_;  ///< guarded by mode_mu_
+  obs::Probe probe_;
 };
 
 }  // namespace amrio::staging

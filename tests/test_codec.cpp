@@ -279,7 +279,8 @@ TEST_P(CodecMacsio, IdentityIsByteIdenticalToUncodedStaging) {
   }
   // identity accounting: encoded == raw, zero cpu, submit on the raw clock
   EXPECT_EQ(stats.codec.total.encoded_bytes, stats.codec.total.raw_bytes);
-  EXPECT_DOUBLE_EQ(stats.codec.total.cpu_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.codec.total.encode_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(stats.codec.total.decode_seconds, 0.0);
   const st::AggregationConfig agg_cfg{params.aggregators,
                                       params.agg_link_bandwidth, 1.0e-6};
   for (const auto& req : stats.requests) {

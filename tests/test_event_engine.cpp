@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <tuple>
@@ -17,6 +18,9 @@
 #include "core/amrio.hpp"
 #include "exec/engine.hpp"
 #include "macsio/driver.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "pfs/backend.hpp"
 #include "util/assert.hpp"
 
@@ -67,14 +71,37 @@ mc::Params matrix_params(mc::FileMode mode, Staging staging,
 struct EngineRunResult {
   mc::DumpStats dump;
   mc::RestartStats restart;
+  /// Exported observability artifacts of the run: the Chrome-trace JSON of
+  /// the merged span stream (driver spans + a BB-tier SimFs replay) and the
+  /// metrics snapshot. The parity contract is byte-identity.
+  std::string trace_json;
+  std::string metrics_json;
 };
 
 EngineRunResult run_matrix_point(ex::EngineKind kind, const mc::Params& params,
                                  p::MemoryBackend& backend) {
   const auto engine = ex::make_engine(kind, params.nprocs);
+  amrio::obs::Tracer tracer;
+  amrio::obs::MetricsRegistry metrics;
+  const amrio::obs::Probe probe{&tracer, &metrics};
   EngineRunResult r;
-  r.dump = mc::run_macsio(*engine, params, backend);
-  r.restart = mc::run_restart(*engine, params, backend);
+  r.dump = mc::run_macsio(*engine, params, backend, nullptr, probe);
+  r.restart = mc::run_restart(*engine, params, backend, nullptr, probe);
+  // Replay both request streams through a BB-enabled reference model so the
+  // span stream covers every pipeline stage, then export deterministically.
+  p::SimFsConfig cfg;
+  cfg.bb.enabled = true;
+  cfg.bb.nodes = 2;
+  cfg.bb.ranks_per_node = 16;
+  p::SimFs fs(cfg);
+  (void)fs.run(r.dump.requests, probe);
+  (void)fs.run(r.restart.requests, probe);
+  std::ostringstream ts;
+  amrio::obs::write_chrome_trace(ts, tracer.spans(), tracer.edges());
+  r.trace_json = ts.str();
+  std::ostringstream ms;
+  amrio::obs::write_metrics_json(ms, metrics.snapshot());
+  r.metrics_json = ms.str();
   return r;
 }
 
@@ -128,6 +155,11 @@ void expect_parity(const EngineRunResult& got, const p::MemoryBackend& got_be,
   EXPECT_DOUBLE_EQ(got.restart.scatter_seconds, ref.restart.scatter_seconds);
   expect_codec_totals_equal(got.restart.codec.total, ref.restart.codec.total);
   expect_requests_equal(got.restart.requests, ref.restart.requests);
+
+  // observability side: the merged span stream and the metrics snapshot are
+  // part of the engine-parity contract — byte-identical exports
+  EXPECT_EQ(got.trace_json, ref.trace_json);
+  EXPECT_EQ(got.metrics_json, ref.metrics_json);
 }
 
 }  // namespace

@@ -1,0 +1,407 @@
+/// Tests for the observability layer (src/obs): span tracer determinism and
+/// id scheme, the mixed-hash sink sharding (the rank % 64 stride fix), the
+/// metrics registry (counters / gauges / log-bucketed histograms / series),
+/// critical-path attribution, the Chrome-trace and metrics exporters, and the
+/// span-nesting/edge invariants on a full 32-rank agg+bb dump+restart
+/// pipeline run.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/engine.hpp"
+#include "iostats/trace.hpp"
+#include "macsio/driver.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/shard.hpp"
+#include "obs/span.hpp"
+#include "pfs/backend.hpp"
+#include "pfs/simfs.hpp"
+
+namespace obs = amrio::obs;
+namespace mc = amrio::macsio;
+namespace p = amrio::pfs;
+
+namespace {
+
+obs::Span make_span(int rank, const std::string& stage, double start,
+                    double end, double wait = 0.0,
+                    const std::string& resource = {}) {
+  obs::Span s;
+  s.rank = rank;
+  s.stage = stage;
+  s.start = start;
+  s.end = end;
+  s.wait = wait;
+  s.resource = resource;
+  return s;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- sharding
+
+TEST(RankShard, SpreadsStride64Ranks) {
+  // The old `rank % 64` sharding mapped ranks 0, 64, 128, ... (one rank per
+  // 64-rank node, a natural aggregator stride) onto ONE sink, serializing
+  // every recorder call. The mixed hash must spread them.
+  std::set<std::size_t> sinks;
+  for (int rank = 0; rank < 64 * 64; rank += 64)
+    sinks.insert(obs::rank_shard(rank, 64));
+  EXPECT_GT(sinks.size(), 16u) << "stride-64 ranks collapsed onto few sinks";
+}
+
+TEST(RankShard, StableAndInRange) {
+  for (int rank : {-1, 0, 1, 63, 64, 1 << 20}) {
+    const std::size_t shard = obs::rank_shard(rank, 7);
+    EXPECT_LT(shard, 7u);
+    EXPECT_EQ(shard, obs::rank_shard(rank, 7));  // pure function
+  }
+}
+
+TEST(TraceRecorder, TunableSinkCountStillMergesDeterministically) {
+  amrio::iostats::TraceRecorder narrow(4);
+  EXPECT_EQ(narrow.nsinks(), 4u);
+  for (int rank = 0; rank < 128; ++rank)
+    narrow.record_write(0, 0, rank, "f", 1);
+  EXPECT_EQ(narrow.events().size(), 128u);
+}
+
+// --------------------------------------------------------------- tracer
+
+TEST(Tracer, DeterministicIdsAndMergedOrder) {
+  auto build = [] {
+    obs::Tracer t;
+    const auto a = t.record(make_span(0, "write", 0.0, 1.0));
+    const auto b = t.record(make_span(1, "write", 0.5, 2.0));
+    const auto c = t.record(make_span(0, "drain", 1.0, 3.0));
+    t.edge(a, c);
+    t.edge(b, c);
+    return std::tuple{t.spans(), t.edges(), a, b, c};
+  };
+  const auto [spans1, edges1, a, b, c] = build();
+  const auto [spans2, edges2, a2, b2, c2] = build();
+
+  // id scheme: (rank+1) << 32 | per-rank seq, seq from 1 in program order
+  EXPECT_EQ(a, (std::uint64_t{1} << 32) | 1);
+  EXPECT_EQ(b, (std::uint64_t{2} << 32) | 1);
+  EXPECT_EQ(c, (std::uint64_t{1} << 32) | 2);
+  EXPECT_EQ(std::tuple(a, b, c), std::tuple(a2, b2, c2));
+
+  // merged snapshot: ordered by (start, rank, id), identical across runs
+  ASSERT_EQ(spans1.size(), 3u);
+  EXPECT_EQ(spans1[0].id, a);
+  EXPECT_EQ(spans1[1].id, b);
+  EXPECT_EQ(spans1[2].id, c);
+  ASSERT_EQ(edges1.size(), 2u);
+  EXPECT_EQ(edges1[0].from, a);
+  EXPECT_EQ(edges1[1].from, b);
+  for (std::size_t i = 0; i < spans1.size(); ++i) {
+    EXPECT_EQ(spans1[i].id, spans2[i].id);
+    EXPECT_EQ(spans1[i].stage, spans2[i].stage);
+  }
+}
+
+TEST(Tracer, ConcurrentRanksMergeToOneDeterministicStream) {
+  // Per-rank program order is what matters: concurrent ranks recording into
+  // the sharded sinks must yield the same merged snapshot as a serial pass.
+  auto build = [](bool threaded) {
+    obs::Tracer t(8);
+    auto body = [&t](int rank) {
+      for (int i = 0; i < 50; ++i)
+        t.record(make_span(rank, "s", i, i + 0.5));
+    };
+    if (threaded) {
+      std::vector<std::thread> workers;
+      for (int rank = 0; rank < 16; ++rank) workers.emplace_back(body, rank);
+      for (auto& w : workers) w.join();
+    } else {
+      for (int rank = 0; rank < 16; ++rank) body(rank);
+    }
+    return t.spans();
+  };
+  const auto serial = build(false);
+  const auto threaded = build(true);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].id, threaded[i].id);
+    EXPECT_EQ(serial[i].rank, threaded[i].rank);
+    EXPECT_DOUBLE_EQ(serial[i].start, threaded[i].start);
+  }
+}
+
+// -------------------------------------------------------------- metrics
+
+TEST(Metrics, CountersGaugesHistogramsSeries) {
+  obs::MetricsRegistry m;
+  m.add("bytes", 10);
+  m.add("bytes", 32);
+  m.gauge_set("depth", 3.0);
+  m.gauge_set("depth", 2.0);  // last write wins
+  m.gauge_max("peak", 5.0);
+  m.gauge_max("peak", 4.0);  // max wins
+  m.observe("lat", 3e-9, 1e-9);  // 3 units -> bucket 1 ([2,4))
+  m.observe("lat", 0.0, 1e-9);   // zero units -> bucket -1
+  m.observe("lat", 9e-9, 1e-9);  // 9 units -> bucket 3 ([8,16))
+  m.sample("occ", 1.0, 100.0);
+  m.sample("occ", 2.0, 50.0);
+
+  const obs::MetricsSnapshot snap = m.snapshot();
+  EXPECT_EQ(snap.counters.at("bytes"), 42);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("depth"), 2.0);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("peak"), 5.0);
+  const auto& h = snap.histograms.at("lat");
+  EXPECT_EQ(h.count, 3);
+  EXPECT_EQ(h.sum_units, 12);
+  EXPECT_DOUBLE_EQ(h.sum(), 12e-9);
+  EXPECT_DOUBLE_EQ(h.mean(), 4e-9);
+  EXPECT_EQ(h.buckets.at(-1), 1);
+  EXPECT_EQ(h.buckets.at(1), 1);
+  EXPECT_EQ(h.buckets.at(3), 1);
+  const auto& ts = snap.series.at("occ").samples;
+  ASSERT_EQ(ts.size(), 2u);
+  EXPECT_DOUBLE_EQ(ts[0].second, 100.0);
+  EXPECT_DOUBLE_EQ(ts[1].second, 50.0);
+}
+
+TEST(Metrics, ConcurrentAddsCommute) {
+  obs::MetricsRegistry m;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 8; ++w)
+    workers.emplace_back([&m] {
+      for (int i = 0; i < 1000; ++i) {
+        m.add("n", 1);
+        m.gauge_max("peak", static_cast<double>(i));
+        m.observe("h", 2.5e-9, 1e-9);
+      }
+    });
+  for (auto& w : workers) w.join();
+  const auto snap = m.snapshot();
+  EXPECT_EQ(snap.counters.at("n"), 8000);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("peak"), 999.0);
+  EXPECT_EQ(snap.histograms.at("h").count, 8000);
+  EXPECT_EQ(snap.histograms.at("h").sum_units, 8000 * 3);  // llround(2.5) = 3
+}
+
+// -------------------------------------------------------- critical path
+
+TEST(CriticalPath, EdgeWalkAttributesStagesAndBindingResource) {
+  obs::Tracer t;
+  const auto a = t.record(make_span(0, "write", 0.0, 2.0, 1.5, "ost_queue"));
+  const auto b =
+      t.record(make_span(1, "drain", 2.0, 5.0, 0.5, "drain_stream"));
+  t.record(make_span(2, "write", 0.0, 1.0));  // off the path
+  t.edge(a, b);
+
+  const obs::CriticalPathReport cp = obs::critical_path(t.spans(), t.edges());
+  EXPECT_DOUBLE_EQ(cp.makespan, 5.0);
+  EXPECT_EQ(cp.critical_stage, "drain");
+  EXPECT_DOUBLE_EQ(cp.critical_frac, 0.6);
+  EXPECT_EQ(cp.binding_resource, "ost_queue");  // 1.5s > 0.5s of wait
+  ASSERT_EQ(cp.chain.size(), 2u);
+  EXPECT_EQ(cp.chain[0], a);
+  EXPECT_EQ(cp.chain[1], b);
+  double total = 0.0;
+  for (const auto& s : cp.stages) total += s.seconds;
+  EXPECT_DOUBLE_EQ(total, cp.makespan);  // attribution is exhaustive
+}
+
+TEST(CriticalPath, GapsBecomeCompute) {
+  obs::Tracer t;
+  t.record(make_span(0, "dump", 0.0, 1.0));
+  t.record(make_span(0, "dump", 3.0, 5.0));  // 2s idle gap in between
+
+  const obs::CriticalPathReport cp = obs::critical_path(t.spans(), t.edges());
+  EXPECT_DOUBLE_EQ(cp.makespan, 5.0);
+  double dump = 0.0, compute = 0.0;
+  for (const auto& s : cp.stages) {
+    if (s.stage == "dump") dump = s.seconds;
+    if (s.stage == "compute") compute = s.seconds;
+  }
+  EXPECT_DOUBLE_EQ(dump, 3.0);
+  EXPECT_DOUBLE_EQ(compute, 2.0);
+  EXPECT_EQ(cp.critical_stage, "dump");
+}
+
+TEST(CriticalPath, EmptyStreamYieldsZeroReport) {
+  const obs::CriticalPathReport cp = obs::critical_path({}, {});
+  EXPECT_DOUBLE_EQ(cp.makespan, 0.0);
+  EXPECT_TRUE(cp.stages.empty());
+}
+
+// ------------------------------------------------------------ exporters
+
+TEST(Exporters, ChromeTraceSchemaAndDeterminism) {
+  auto render = [] {
+    obs::Tracer t;
+    const auto a = t.record(make_span(-1, "dump", 0.0, 2.0));
+    const auto b = t.record(make_span(3, "encode", 0.0, 1.0, 0.25, "cpu"));
+    t.edge(b, a);
+    std::ostringstream os;
+    obs::write_chrome_trace(os, t.spans(), t.edges());
+    return os.str();
+  };
+  const std::string json = render();
+  EXPECT_EQ(json, render());  // byte-identical
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"driver\""), std::string::npos);  // tid 0
+  EXPECT_NE(json.find("\"name\":\"rank 3\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);  // flow edge
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"wait_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"resource\":\"cpu\""), std::string::npos);
+}
+
+TEST(Exporters, MetricsJsonAndCsv) {
+  obs::MetricsRegistry m;
+  m.add("requests", 7);
+  m.gauge_max("peak", 3.5);
+  m.observe("lat", 4e-9, 1e-9);
+  m.sample("occ", 0.5, 10.0);
+  const auto snap = m.snapshot();
+
+  std::ostringstream js;
+  obs::write_metrics_json(js, snap);
+  const std::string json = js.str();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"requests\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"series\""), std::string::npos);
+
+  std::ostringstream cs;
+  obs::write_metrics_csv(cs, snap);
+  const std::string csv = cs.str();
+  EXPECT_EQ(csv.find("kind,name,key,value\n"), 0u);
+  EXPECT_NE(csv.find("counter,requests,,7"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,lat,count,1"), std::string::npos);
+  EXPECT_NE(csv.find("sample,occ,"), std::string::npos);
+}
+
+// ------------------------------- full-pipeline span invariants (32 ranks)
+
+namespace {
+
+/// One observed 32-rank agg+bb+ebl dump+restart pipeline: driver spans plus
+/// a BB-tier SimFs replay of both request streams, all in one tracer.
+struct PipelineObs {
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+
+  PipelineObs() {
+    mc::Params params;
+    params.nprocs = 32;
+    params.num_dumps = 2;
+    params.part_size = 1500;
+    params.avg_num_parts = 1.25;
+    params.dataset_growth = 1.05;
+    params.meta_size = 16;
+    params.aggregators = 8;
+    params.stage_to_bb = true;
+    params.restart = true;
+    params.restart_from_bb = true;
+    params.codec = "ebl";
+    params.validate();
+
+    const obs::Probe probe{&tracer, &metrics};
+    p::MemoryBackend backend(true);
+    amrio::exec::SerialEngine engine(params.nprocs);
+    const auto dump = mc::run_macsio(engine, params, backend, nullptr, probe);
+    const auto restart =
+        mc::run_restart(engine, params, backend, nullptr, probe);
+
+    p::SimFsConfig cfg;
+    cfg.bb.enabled = true;
+    cfg.bb.nodes = 2;
+    cfg.bb.ranks_per_node = 16;
+    cfg.bb.capacity = 1 << 20;
+    p::SimFs fs(cfg);
+    (void)fs.run(dump.requests, probe);
+    (void)fs.run(restart.requests, probe);
+  }
+};
+
+}  // namespace
+
+TEST(SpanInvariants, NoOrphansAndChildrenNestWithinParents) {
+  PipelineObs run;
+  const auto spans = run.tracer.spans();
+  ASSERT_GT(spans.size(), 100u);  // every stage emitted something
+
+  std::unordered_map<std::uint64_t, const obs::Span*> by_id;
+  for (const auto& s : spans) {
+    EXPECT_TRUE(by_id.emplace(s.id, &s).second) << "duplicate id " << s.id;
+    EXPECT_GE(s.end, s.start);
+  }
+  constexpr double kEps = 1e-9;
+  for (const auto& s : spans) {
+    if (s.parent == 0) continue;
+    const auto it = by_id.find(s.parent);
+    ASSERT_NE(it, by_id.end()) << "orphan span " << s.stage << " id " << s.id;
+    const obs::Span& parent = *it->second;
+    EXPECT_GE(s.start, parent.start - kEps)
+        << s.stage << " starts before parent " << parent.stage;
+    EXPECT_LE(s.end, parent.end + kEps)
+        << s.stage << " ends after parent " << parent.stage;
+  }
+  for (const auto& e : run.tracer.edges()) {
+    const auto from = by_id.find(e.from);
+    const auto to = by_id.find(e.to);
+    ASSERT_NE(from, by_id.end()) << "edge from unknown span";
+    ASSERT_NE(to, by_id.end()) << "edge to unknown span";
+    // happens-before: the source cannot end after the destination ends
+    EXPECT_LE(from->second->end, to->second->end + kEps)
+        << from->second->stage << " -> " << to->second->stage;
+  }
+
+  // The full taxonomy showed up: write-side, ship, restart-side, BB tier.
+  // No pfs_write here — with --staging bb every dump write is BB-tier; the
+  // pfs_read spans come from the always-cold metadata read-back.
+  std::set<std::string> stages;
+  for (const auto& s : spans) stages.insert(s.stage);
+  for (const char* expect :
+       {"dump", "encode", "ship", "restart", "scatter", "decode", "bb_absorb",
+        "bb_drain", "bb_prefetch", "bb_read", "pfs_read"})
+    EXPECT_TRUE(stages.count(expect)) << "missing stage " << expect;
+}
+
+TEST(SpanInvariants, CriticalPathCoversTheMakespan) {
+  PipelineObs run;
+  const auto cp = obs::critical_path(run.tracer.spans(), run.tracer.edges());
+  ASSERT_GT(cp.makespan, 0.0);
+  double total = 0.0;
+  for (const auto& s : cp.stages) total += s.seconds;
+  // the acceptance bar is >= 95%; the construction gives exactly 100%
+  EXPECT_GE(total, 0.95 * cp.makespan);
+  EXPECT_LE(total, cp.makespan + 1e-9);
+  EXPECT_FALSE(cp.critical_stage.empty());
+  EXPECT_FALSE(cp.binding_resource.empty());
+}
+
+TEST(SpanInvariants, PipelineMetricsAreCoherent) {
+  PipelineObs run;
+  const auto snap = run.metrics.snapshot();
+  // write side: every gatherv ship counted, bytes flowed through the tier
+  EXPECT_GT(snap.counters.at("exec.gatherv.calls"), 0);
+  EXPECT_GT(snap.counters.at("exec.scatterv.calls"), 0);
+  EXPECT_GT(snap.counters.at("macsio.dumps"), 0);
+  EXPECT_GT(snap.counters.at("macsio.restarts"), 0);
+  EXPECT_GT(snap.counters.at("simfs.bb.absorb_bytes"), 0);
+  EXPECT_GT(snap.counters.at("simfs.bb.drain_bytes"), 0);
+  EXPECT_GT(snap.counters.at("simfs.bb.prefetch_bytes"), 0);
+  EXPECT_GT(snap.counters.at("simfs.bb.read_bytes"), 0);
+  // tier occupancy series exists and returns to zero after the drains
+  const auto& occ = snap.series.at("bb.occupancy_bytes").samples;
+  ASSERT_FALSE(occ.empty());
+  EXPECT_DOUBLE_EQ(occ.back().second, 0.0);
+  EXPECT_GT(snap.gauges.at("simfs.bb.peak_occupancy_bytes"), 0.0);
+}

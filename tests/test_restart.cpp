@@ -206,7 +206,6 @@ TEST(CodecStatsSplit, DecodeDoesNotPolluteEncodeReports) {
   stats.add_decode(0, -1, enc, 0.2);  // read side, same chunk shape
   EXPECT_DOUBLE_EQ(stats.total.encode_seconds, 0.5);
   EXPECT_DOUBLE_EQ(stats.total.decode_seconds, 0.2);
-  EXPECT_DOUBLE_EQ(stats.total.cpu_seconds(), 0.7);  // deprecated sum
   EXPECT_EQ(stats.total.raw_bytes, 2000u);
   EXPECT_EQ(stats.total.chunks, 2u);
 
