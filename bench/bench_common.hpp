@@ -30,9 +30,15 @@ struct BenchContext {
   /// (serial | spmd | event). Serial matches historical bench behavior;
   /// event unlocks machine-scale rank counts.
   exec::EngineKind engine = exec::EngineKind::kSerial;
-  /// --trace_out: Chrome-trace/Perfetto JSON of the bench's *last* study row
-  /// (benches trace one row at a time so each row's critical path is clean).
+  /// --trace_out: Chrome-trace/Perfetto JSON. Benches trace one study row at
+  /// a time (so each row's critical path is clean); by default the *last*
+  /// row's trace is written here. A `%d` in the path turns it into a per-row
+  /// template (`trace_%d.json` → trace_0.json, trace_1.json, ...), and
+  /// --trace_row K writes exactly row K (0-based) instead of the last.
   std::string trace_out;
+  /// --trace_row: which 0-based study row --trace_out captures (-1 = the
+  /// default last-row behavior). Ignored when --trace_out has a %d template.
+  int trace_row = -1;
   /// --metrics_out: metrics snapshot accumulated across every row (".csv"
   /// suffix selects flat CSV, anything else pretty JSON).
   std::string metrics_out;
@@ -53,8 +59,48 @@ struct BenchContext {
   /// row, so its spans form exactly one critical path), the context owns the
   /// accumulating metrics registry.
   obs::Probe probe(obs::Tracer& row_tracer) const {
-    return obs::Probe{&row_tracer, metrics.get()};
+    obs::Probe p;
+    p.tracer = &row_tracer;
+    p.metrics = metrics.get();
+    return p;
   }
+
+  /// True when --trace_out is written per row by row_done() — a %d template
+  /// or an explicit --trace_row — rather than last-row-wins by export_obs().
+  bool per_row_trace() const {
+    return !trace_out.empty() &&
+           (trace_out.find("%d") != std::string::npos || trace_row >= 0);
+  }
+
+  /// --trace_out with its %d marker (if any) replaced by `row`.
+  std::string row_trace_path(int row) const {
+    std::string p = trace_out;
+    const auto pos = p.find("%d");
+    if (pos != std::string::npos) p.replace(pos, 2, std::to_string(row));
+    return p;
+  }
+
+  /// Benches call this once per completed study row, passing the row's
+  /// tracer. Handles per-row trace selection: with a %d template every row
+  /// is written to its own file; with --trace_row K only row K is written.
+  /// Without either this is a counter bump and export_obs() keeps the
+  /// historical default (the last row's tracer, passed by the bench).
+  void row_done(const obs::Tracer& row_tracer) const {
+    const int row = row_index_++;
+    if (trace_out.empty()) return;
+    const bool tmpl = trace_out.find("%d") != std::string::npos;
+    if (tmpl) {
+      const std::string path = row_trace_path(row);
+      obs::export_trace(path, row_tracer);
+      std::printf("trace: %s (row %d)\n", path.c_str(), row);
+    } else if (trace_row >= 0 && row == trace_row) {
+      obs::export_trace(trace_out, row_tracer);
+      std::printf("trace: %s (row %d)\n", trace_out.c_str(), row);
+    }
+  }
+
+ private:
+  mutable int row_index_ = 0;  ///< rows completed; advanced by row_done()
 };
 
 inline BenchContext parse_bench_args(int argc, char** argv,
@@ -67,8 +113,13 @@ inline BenchContext parse_bench_args(int argc, char** argv,
                  std::string("bench_results"));
   cli.add_option("engine", "execution engine: serial | spmd | event", 1,
                  std::string("serial"));
-  cli.add_option("trace_out", "Chrome-trace JSON of the last study row", 1,
-                 std::string(""));
+  cli.add_option("trace_out",
+                 "Chrome-trace JSON (default: last study row; %d in the "
+                 "path = one file per row)",
+                 1, std::string(""));
+  cli.add_option("trace_row",
+                 "0-based study row --trace_out captures (default: last)", 1,
+                 std::string("-1"));
   cli.add_option("metrics_out", "metrics snapshot (JSON, or CSV by suffix)", 1,
                  std::string(""));
   cli.add_flag("help", "show usage");
@@ -89,16 +140,19 @@ inline BenchContext parse_bench_args(int argc, char** argv,
   }
   ctx.out_dir = cli.get("out");
   ctx.trace_out = cli.get("trace_out");
+  ctx.trace_row = cli.get_int_or("trace_row", -1);
   ctx.metrics_out = cli.get("metrics_out");
   util::make_dirs(ctx.out_dir);
   return ctx;
 }
 
 /// Write the observability artifacts requested on the command line:
-/// `tracer` (typically the final study row's) to --trace_out and the
-/// context's accumulated metrics to --metrics_out. No-op for unset paths.
+/// `tracer` (the final study row's — the documented --trace_out default) to
+/// --trace_out and the context's accumulated metrics to --metrics_out.
+/// When row_done() already wrote the trace (a %d template or --trace_row),
+/// only the metrics are written here. No-op for unset paths.
 inline void export_obs(const BenchContext& ctx, const obs::Tracer& tracer) {
-  if (!ctx.trace_out.empty()) {
+  if (!ctx.trace_out.empty() && !ctx.per_row_trace()) {
     obs::export_trace(ctx.trace_out, tracer);
     std::printf("trace: %s\n", ctx.trace_out.c_str());
   }

@@ -153,6 +153,7 @@ int main(int argc, char** argv) {
             .field(cp.critical_frac)
             .field(cp.binding_resource);
         csv.endrow();
+        ctx.row_done(row_tracer);
       }
       // frontier: does some ebl point beat identity here, or lose to it?
       for (const CodecPoint& point : codecs) {

@@ -151,6 +151,7 @@ int main(int argc, char** argv) {
             .field(cp.critical_frac)
             .field(cp.binding_resource);
         csv.endrow();
+        ctx.row_done(row_tracer);
 
         const bool ebl = std::string(point.codec) == "ebl";
         if (ebl && restart.decode_gate <= 0.0) {

@@ -225,6 +225,7 @@ int main(int argc, char** argv) {
             .field(cp.critical_frac)
             .field(cp.binding_resource);
         csv.endrow();
+        ctx.row_done(row_tracer);
       }
     }
   }

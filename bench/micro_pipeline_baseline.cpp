@@ -132,6 +132,7 @@ int main(int argc, char** argv) {
       w.end_array();
       w.end_object();
       w.end_object();
+      ctx.row_done(row_tracer);
     }
   }
   w.end_array();

@@ -10,18 +10,29 @@
 ///     --num_dumps 20 --part_size 1550000 --avg_num_parts 1 \
 ///     --vars_per_part 1 --compute_time 0.5 --meta_size 0 \
 ///     --dataset_growth 1.013075 --nprocs 8 --out macsio_run
+///
+/// Observability surface: --trace_out (buffered Chrome-trace export, byte
+/// identical across engines), --trace_sample N (streaming bounded-memory
+/// export keeping N representative ranks — the machine-scale path),
+/// --metrics_out, --critical_path, --util_out (per-resource utilization
+/// ledger), --prof_out (host-side self-profiling of the engine itself).
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 #include "exec/engine.hpp"
 #include "iostats/aggregate.hpp"
 #include "macsio/driver.hpp"
 #include "obs/critical_path.hpp"
 #include "obs/export.hpp"
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
+#include "obs/selfprof.hpp"
 #include "obs/span.hpp"
+#include "obs/stream.hpp"
 #include "pfs/timeline.hpp"
+#include "staging/aggregator.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
 
@@ -33,6 +44,10 @@ int main(int argc, char** argv) {
   std::string out_root = "macsio_run";
   std::string trace_out;
   std::string metrics_out;
+  std::string util_out;
+  std::string prof_out;
+  int trace_sample = 0;
+  bool want_critical = false;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--spmd") {  // legacy alias for --engine spmd
@@ -50,8 +65,20 @@ int main(int argc, char** argv) {
       out_root = argv[++i];
     } else if (a == "--trace_out" && i + 1 < argc) {
       trace_out = argv[++i];
+    } else if (a == "--trace_sample" && i + 1 < argc) {
+      trace_sample = std::atoi(argv[++i]);
+      if (trace_sample < 0) {
+        std::fprintf(stderr, "macsio_proxy: --trace_sample must be >= 0\n");
+        return 2;
+      }
     } else if (a == "--metrics_out" && i + 1 < argc) {
       metrics_out = argv[++i];
+    } else if (a == "--util_out" && i + 1 < argc) {
+      util_out = argv[++i];
+    } else if (a == "--prof_out" && i + 1 < argc) {
+      prof_out = argv[++i];
+    } else if (a == "--critical_path") {
+      want_critical = true;
     } else if (a == "--help") {
       std::printf(
           "macsio_proxy: MACSio-compatible proxy I/O application\n"
@@ -69,13 +96,32 @@ int main(int argc, char** argv) {
           "          --out DIR (disk root)\n"
           "  observability: --trace_out FILE (Chrome-trace/Perfetto JSON of\n"
           "          the virtual-time spans; ranks as threads),\n"
-          "          --metrics_out FILE (metrics snapshot; .csv or JSON).\n"
-          "          Either flag also replays the request stream through the\n"
-          "          reference PFS/BB model and prints the critical path.\n");
+          "          --trace_sample N (with --trace_out: stream the trace\n"
+          "          with bounded memory, keeping N evenly spaced ranks\n"
+          "          verbatim — plus the driver track and aggregators —\n"
+          "          and folding the rest into per-stage envelope spans;\n"
+          "          the machine-scale path for --engine event),\n"
+          "          --metrics_out FILE (metrics snapshot; .csv or JSON),\n"
+          "          --critical_path (print the critical-path summary\n"
+          "          without writing any trace file),\n"
+          "          --util_out FILE (per-resource utilization ledger as\n"
+          "          JSON; also prints the bottleneck table),\n"
+          "          --prof_out FILE (host wall-clock self-profile of the\n"
+          "          engine: events/sec, context switches, ready-queue\n"
+          "          high-water, arena bytes; NOT engine-invariant).\n"
+          "          Any virtual-time flag also replays the request stream\n"
+          "          through the reference PFS/BB model so the artifacts\n"
+          "          hold every stage.\n");
       return 0;
     } else {
       args.push_back(a);
     }
+  }
+  if (trace_sample > 0 && trace_out.empty()) {
+    std::fprintf(stderr,
+                 "macsio_proxy: --trace_sample only affects --trace_out; "
+                 "ignoring it\n");
+    trace_sample = 0;
   }
 
   macsio::Params params;
@@ -92,11 +138,37 @@ int main(int argc, char** argv) {
   else backend = std::make_unique<pfs::MemoryBackend>(false);
 
   iostats::TraceRecorder trace;
-  const bool observe = !trace_out.empty() || !metrics_out.empty();
+  const bool sampling = trace_sample > 0;
+  const bool observe = !trace_out.empty() || !metrics_out.empty() ||
+                       !util_out.empty() || want_critical;
   obs::Tracer tracer;
   obs::MetricsRegistry metrics;
-  const obs::Probe probe =
-      observe ? obs::Probe{&tracer, &metrics} : obs::Probe{};
+  obs::ResourceLedger ledger;
+  std::unique_ptr<obs::TraceStream> stream;
+  if (sampling) {
+    obs::TraceStream::Options opt;
+    opt.path = trace_out;
+    opt.sample.nranks = params.nprocs;
+    opt.sample.sample = trace_sample;
+    if (params.aggregators > 0) {
+      // Aggregator ranks carry the ship/encode gates; always keep them.
+      const auto topo =
+          staging::AggTopology::make(params.nprocs, params.aggregators);
+      for (int g = 0; g < topo.ngroups(); ++g)
+        opt.sample.keep_extra.push_back(topo.aggregator_of_group(g));
+    }
+    stream = std::make_unique<obs::TraceStream>(std::move(opt));
+  }
+  obs::Probe probe;
+  if (observe) {
+    probe.tracer = sampling ? static_cast<obs::SpanSink*>(stream.get())
+                            : static_cast<obs::SpanSink*>(&tracer);
+    probe.metrics = &metrics;
+    if (!util_out.empty()) probe.ledger = &ledger;
+  }
+  obs::SelfProfiler prof;
+  obs::SelfProfiler* prof_ptr = prof_out.empty() ? nullptr : &prof;
+
   std::unique_ptr<exec::Engine> engine;
   try {
     engine = exec::make_engine(engine_kind, params.nprocs);
@@ -104,10 +176,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "macsio_proxy: %s\n", e.what());
     return 2;
   }
+  if (prof_ptr != nullptr) engine->set_profiler(prof_ptr);
   std::printf("running %d ranks on the %s engine...\n", params.nprocs,
               engine->name());
-  const macsio::DumpStats stats =
-      macsio::run_macsio(*engine, params, *backend, &trace, probe);
+  macsio::DumpStats stats;
+  {
+    obs::SelfProfiler::ScopedPhase ph(prof_ptr, "proxy.dump");
+    stats = macsio::run_macsio(*engine, params, *backend, &trace, probe);
+  }
 
   util::TextTable table({"dump", "bytes", "max task bytes", "min task bytes"});
   for (std::size_t d = 0; d < stats.bytes_per_dump.size(); ++d) {
@@ -130,8 +206,28 @@ int main(int argc, char** argv) {
                 stats.codec.total.ratio(), stats.codec.total.encode_seconds);
   }
 
+  // Reference PFS/BB model for the observability replay: timed alongside
+  // each driver phase so the trace holds every stage — the driver spans
+  // recorded above (encode/ship/scatter/decode and the dump/restart phases)
+  // plus the replay's pfs_write/bb_absorb/bb_drain/bb_prefetch/bb_read
+  // spans — and so the dump and restart timelines land in separate ledger
+  // epochs (each is an independent virtual clock starting at zero).
+  pfs::SimFsConfig obs_cfg;
+  obs_cfg.bb.enabled = params.stage_to_bb || params.restart_from_bb;
+  if (obs_cfg.bb.enabled) {
+    obs_cfg.bb.ranks_per_node = 16;
+    obs_cfg.bb.nodes = params.nprocs / 16 > 1 ? params.nprocs / 16 : 1;
+  }
+  pfs::SimFs obs_fs(obs_cfg);
+  if (observe) {
+    obs::SelfProfiler::ScopedPhase ph(prof_ptr, "proxy.pfs_replay");
+    obs_fs.run(stats.requests, probe);
+  }
+
   macsio::RestartStats restart;
   if (params.restart) {
+    ledger.begin_epoch();  // the restart is a fresh virtual timeline
+    obs::SelfProfiler::ScopedPhase ph(prof_ptr, "proxy.restart");
     restart = macsio::run_restart(*engine, params, *backend, &trace, probe);
     std::printf(
         "restart (dump %d, %s): %s decoded image, %s fetched off the %s, "
@@ -141,6 +237,10 @@ int main(int argc, char** argv) {
         util::human_bytes(restart.encoded_bytes).c_str(),
         params.restart_from_bb ? "bb tier" : "pfs",
         restart.decode_gate, restart.scatter_seconds);
+    if (observe) {
+      obs::SelfProfiler::ScopedPhase ph2(prof_ptr, "proxy.pfs_replay");
+      obs_fs.run(restart.requests, probe);
+    }
   }
 
   // burst view of the request stream (compute_time spacing)
@@ -154,31 +254,46 @@ int main(int argc, char** argv) {
   }
 
   if (observe) {
-    // Time the full pipeline on the reference PFS/BB model so the trace
-    // holds every stage: the driver spans recorded above (encode/ship/
-    // scatter/decode and the dump/restart phases) plus the replay's
-    // pfs_write/bb_absorb/bb_drain/bb_prefetch/bb_read spans.
-    pfs::SimFsConfig cfg;
-    cfg.bb.enabled = params.stage_to_bb || params.restart_from_bb;
-    if (cfg.bb.enabled) {
-      cfg.bb.ranks_per_node = 16;
-      cfg.bb.nodes = params.nprocs / 16 > 1 ? params.nprocs / 16 : 1;
+    if (sampling) {
+      // Critical-path attribution needs every span in memory; the streaming
+      // sampled path trades that for bounded memory.
+      std::printf("critical path: unavailable under --trace_sample "
+                  "(use --critical_path without sampling)\n");
+    } else {
+      const obs::CriticalPathReport cp =
+          obs::critical_path(tracer.spans(), tracer.edges());
+      std::printf("critical path over %.4gs of virtual time: %s\n",
+                  cp.makespan, obs::summarize(cp).c_str());
     }
-    pfs::SimFs fs(cfg);
-    fs.run(stats.requests, probe);
-    if (params.restart) fs.run(restart.requests, probe);
-    const obs::CriticalPathReport cp =
-        obs::critical_path(tracer.spans(), tracer.edges());
-    std::printf("critical path over %.4gs of virtual time: %s\n", cp.makespan,
-                obs::summarize(cp).c_str());
     if (!trace_out.empty()) {
-      obs::export_trace(trace_out, tracer);
-      std::printf("trace: %s\n", trace_out.c_str());
+      if (sampling) {
+        stream->finish();
+        std::printf("trace: %s (sampled %d of %d ranks: kept %llu of %llu "
+                    "spans, peak %zu buffered)\n",
+                    trace_out.c_str(), trace_sample, params.nprocs,
+                    static_cast<unsigned long long>(stream->spans_kept()),
+                    static_cast<unsigned long long>(stream->spans_recorded()),
+                    stream->peak_buffered_spans());
+      } else {
+        obs::export_trace(trace_out, tracer);
+        std::printf("trace: %s\n", trace_out.c_str());
+      }
     }
     if (!metrics_out.empty()) {
       obs::export_metrics(metrics_out, metrics.snapshot());
       std::printf("metrics: %s\n", metrics_out.c_str());
     }
+    if (!util_out.empty()) {
+      const obs::UtilizationReport rep = ledger.report();
+      std::printf("%s", obs::utilization_table(rep).c_str());
+      std::printf("bottlenecks: %s\n", rep.top_summary().c_str());
+      obs::export_utilization(util_out, rep);
+      std::printf("utilization: %s\n", util_out.c_str());
+    }
+  }
+  if (prof_ptr != nullptr) {
+    obs::export_selfprof(prof_out, prof.snapshot());
+    std::printf("self-profile: %s\n", prof_out.c_str());
   }
   return 0;
 }

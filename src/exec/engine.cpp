@@ -2,6 +2,7 @@
 
 #include <ucontext.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
@@ -11,6 +12,7 @@
 #include <tuple>
 
 #include "obs/metrics.hpp"
+#include "obs/selfprof.hpp"
 #include "util/assert.hpp"
 
 namespace amrio::exec {
@@ -39,10 +41,18 @@ SpmdEngine::SpmdEngine(int nranks) : nranks_(nranks) {
 }
 
 void SpmdEngine::run(const RankFn& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
   simmpi::run_spmd(nranks_, [&fn](simmpi::Comm& comm) {
     CommCtx ctx(comm);
     fn(ctx);
   });
+  if (profiler_ != nullptr) {
+    profiler_->count("engine.spmd.runs", 1);
+    profiler_->phase_add(
+        "engine.spmd.run",
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+  }
 }
 
 // -------------------------------------------------------------- SerialEngine
@@ -353,9 +363,19 @@ SerialEngine::SerialEngine(int nranks, std::size_t stack_bytes)
 }
 
 void SerialEngine::run(const RankFn& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto publish = [&] {
+    if (profiler_ == nullptr) return;
+    profiler_->count("engine.serial.runs", 1);
+    profiler_->phase_add(
+        "engine.serial.run",
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+  };
   if (nranks_ == 1) {
     SingleCtx ctx;
     fn(ctx);
+    publish();
     return;
   }
 
@@ -370,6 +390,7 @@ void SerialEngine::run(const RankFn& fn) {
   prepare_fibers(st);
   run_fibers(st, nranks_);
 
+  publish();
   if (st.first_error) std::rethrow_exception(st.first_error);
 }
 

@@ -44,6 +44,10 @@
 #include "obs/probe.hpp"
 #include "simmpi/comm.hpp"
 
+namespace amrio::obs {
+class SelfProfiler;
+}
+
 namespace amrio::exec {
 
 /// Per-rank execution context handed to the driver body. Provides the
@@ -116,6 +120,18 @@ class Engine {
   /// Execute `fn` once per rank. Blocks until every rank finishes; rethrows
   /// the first rank exception, if any.
   virtual void run(const RankFn& fn) = 0;
+
+  /// Attach a host-side self-profiler (see obs/selfprof.hpp). Each run()
+  /// publishes wall seconds plus engine-specific counters (the event
+  /// engine: events processed, context switches, ready-queue high-water,
+  /// SliceArena bytes). Null (the default) disables publication; engines
+  /// buffer hot-loop counts locally either way, so there is no per-event
+  /// synchronization cost.
+  void set_profiler(obs::SelfProfiler* prof) { profiler_ = prof; }
+  obs::SelfProfiler* profiler() const { return profiler_; }
+
+ protected:
+  obs::SelfProfiler* profiler_ = nullptr;
 };
 
 /// Fiber-scheduled engine: ranks run as cooperatively scheduled ucontext

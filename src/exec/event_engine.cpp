@@ -55,6 +55,7 @@
 
 #include "exec/engine.hpp"
 
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <deque>
@@ -64,6 +65,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/selfprof.hpp"
 #include "util/assert.hpp"
 
 #if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
@@ -170,6 +172,7 @@ class SliceArena {
       chunks_.push_back(std::make_unique<std::byte[]>(chunk));
       bump_ = chunks_.back().get();
       bump_left_ = chunk;
+      allocated_ += chunk;
     }
     std::byte* p = bump_;
     bump_ += bytes;
@@ -182,11 +185,16 @@ class SliceArena {
     free_[cls].push_back(p);
   }
 
+  /// Bytes reserved from the OS across all chunks (never shrinks until the
+  /// run ends) — the arena-pressure number engine self-profiling reports.
+  std::size_t allocated_bytes() const { return allocated_; }
+
  private:
   static constexpr std::size_t kGrain = 512;
   static constexpr std::size_t kChunk = std::size_t{1} << 20;
   std::byte* bump_ = nullptr;
   std::size_t bump_left_ = 0;
+  std::size_t allocated_ = 0;
   std::vector<std::vector<std::byte*>> free_;
   std::vector<std::unique_ptr<std::byte[]>> chunks_;
 };
@@ -282,6 +290,11 @@ struct EventState {
   bool aborted = false;
   bool abort_broadcast = false;  ///< blocked ranks woken to observe the abort
 
+  // Self-profiling counters: plain locals on the scheduling path (no
+  // synchronization), published once per run when a profiler is attached.
+  std::uint64_t prof_resumes = 0;     ///< context switches into ranks
+  std::size_t prof_ready_peak = 0;    ///< ready-queue depth high-water
+
 #ifndef AMRIO_EVENT_COMPAT_STACKS
   static constexpr std::uint64_t kCanary = 0x5afe57ac4ca11edull;
   std::unique_ptr<std::byte[]> stack_mem;
@@ -322,6 +335,9 @@ struct EventState {
       v.state = St::kReady;
       ready[ready_tail] = r;
       ready_tail = (ready_tail + 1) % ready.size();
+      const std::size_t depth =
+          (ready_tail + ready.size() - ready_head) % ready.size();
+      if (depth > prof_ready_peak) prof_ready_peak = depth;
     }
   }
 
@@ -388,6 +404,7 @@ struct EventState {
         for (int i = 0; i < n; ++i) wake(i);
         continue;
       }
+      ++prof_resumes;
       resume(r);
     }
   }
@@ -693,12 +710,31 @@ void EventEngine::run(const RankFn& fn) {
   st->fn = &fn;
   EventState* const prev = g_current;
   g_current = st.get();
+  const auto t0 = std::chrono::steady_clock::now();
+  auto publish = [&] {
+    if (profiler_ == nullptr) return;
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    profiler_->count("engine.event.runs", 1);
+    profiler_->count("engine.event.context_switches", st->prof_resumes);
+    profiler_->gauge_max("engine.event.ready_queue_peak",
+                         static_cast<double>(st->prof_ready_peak));
+    profiler_->gauge_max("engine.event.slice_arena_bytes",
+                         static_cast<double>(st->arena.allocated_bytes()));
+    if (wall > 0)
+      profiler_->gauge_max("engine.event.events_per_sec",
+                           static_cast<double>(st->prof_resumes) / wall);
+    profiler_->phase_add("engine.event.run", wall);
+  };
   try {
     st->run_loop();
   } catch (...) {
+    publish();
     g_current = prev;
     throw;
   }
+  publish();
   g_current = prev;
   if (st->first_error) std::rethrow_exception(st->first_error);
 }

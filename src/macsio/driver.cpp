@@ -8,6 +8,7 @@
 
 #include "codec/codec.hpp"
 #include "macsio/interfaces.hpp"
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "staging/aggregator.hpp"
@@ -431,6 +432,37 @@ DumpStats run_macsio_rank(exec::RankCtx& ctx, const Params& params,
           }
         }
       }
+      if (probe.ledger) {
+        // Pool view of the same plan() results: the codec CPU pool (one lane
+        // per rank) holds lanes for their encode seconds, the agg link pool
+        // (one link per group) for the ship window.
+        obs::ResourceLedger& lg = *probe.ledger;
+        lg.declare("codec_cpu", params.nprocs);
+        double cpu_total = 0.0;
+        for (int r = 0; r < params.nprocs; ++r)
+          cpu_total += encs[static_cast<std::size_t>(r)].cpu_seconds;
+        lg.add_busy("codec_cpu", cpu_total);
+        if (aggregated) {
+          lg.declare("agg_link", topo->ngroups());
+          for (int g = 0; g < topo->ngroups(); ++g) {
+            const int agg = topo->aggregator_of_group(g);
+            double encode_gate = 0.0;
+            std::uint64_t shipped = 0;
+            int nmessages = 0;
+            for (int r : topo->members_of(g)) {
+              encode_gate = std::max(
+                  encode_gate, encs[static_cast<std::size_t>(r)].cpu_seconds);
+              if (r != agg) {
+                shipped += encs[static_cast<std::size_t>(r)].out_bytes;
+                ++nmessages;
+              }
+            }
+            const double cost = staging::ship_cost(agg_cfg, shipped, nmessages);
+            lg.add_busy("agg_link", cost);
+            lg.extend_makespan(submit_time + encode_gate + cost);
+          }
+        }
+      }
     }
     ctx.barrier();
   }
@@ -671,6 +703,26 @@ RestartStats run_restart_rank(exec::RankCtx& ctx, const Params& params,
             0, phase, r, "decode", label, arrival, arrival + decode});
         if (aggregated && scatter_span[static_cast<std::size_t>(g)] != 0)
           probe.tracer->edge(scatter_span[static_cast<std::size_t>(g)], span);
+      }
+    }
+    if (probe.ledger) {
+      obs::ResourceLedger& lg = *probe.ledger;
+      lg.declare("codec_cpu", params.nprocs);
+      double decode_total = 0.0;
+      for (int r = 0; r < params.nprocs; ++r) {
+        const double decode =
+            plan.slices[static_cast<std::size_t>(r)].decode_seconds;
+        decode_total += decode;
+        const double arrival =
+            aggregated ? group_cost[static_cast<std::size_t>(topo->group_of(r))]
+                       : 0.0;
+        lg.extend_makespan(arrival + decode);
+      }
+      lg.add_busy("codec_cpu", decode_total);
+      if (aggregated) {
+        lg.declare("agg_link", topo->ngroups());
+        for (int g = 0; g < topo->ngroups(); ++g)
+          lg.add_busy("agg_link", group_cost[static_cast<std::size_t>(g)]);
       }
     }
   }

@@ -14,99 +14,127 @@ namespace {
 
 constexpr double kMicros = 1e6;  // virtual seconds -> trace microseconds
 
-std::string track_name(int rank) {
-  return rank < 0 ? std::string("driver") : "rank " + std::to_string(rank);
-}
-
 std::ofstream open_or_throw(const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("obs: cannot open " + path);
   return out;
 }
 
+/// RFC-4180 quoting for a CSV field: stage/resource names are free-form and
+/// may contain commas (e.g. a detail like "level 2, step 7").
+std::string csv_field(const std::string& v) {
+  if (v.find_first_of(",\"\n\r") == std::string::npos) return v;
+  std::string out = "\"";
+  for (char c : v) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
 }  // namespace
+
+std::string track_name(int rank) {
+  return rank < 0 ? std::string("driver") : "rank " + std::to_string(rank);
+}
+
+void ChromeTraceEmitter::begin(const std::vector<TraceTrack>& tracks) {
+  w_.begin_object();
+  w_.key("displayTimeUnit").value("ms");
+  w_.key("traceEvents").begin_array();
+  for (const TraceTrack& t : tracks) {
+    w_.begin_object();
+    w_.key("ph").value("M");
+    w_.key("pid").value(0);
+    w_.key("tid").value(t.tid);
+    w_.key("name").value("thread_name");
+    w_.key("args").begin_object();
+    w_.key("name").value(t.name);
+    w_.end_object();
+    w_.end_object();
+  }
+}
+
+void ChromeTraceEmitter::span_event(const Span& s) {
+  w_.begin_object();
+  w_.key("ph").value("X");
+  w_.key("pid").value(0);
+  w_.key("tid").value(s.rank + 1);
+  w_.key("name").value(s.stage);
+  w_.key("cat").value("pipeline");
+  w_.key("ts").value(s.start * kMicros);
+  w_.key("dur").value((s.end - s.start) * kMicros);
+  w_.key("args").begin_object();
+  w_.key("id").value(std::uint64_t{s.id});
+  if (s.parent != 0) w_.key("parent").value(std::uint64_t{s.parent});
+  if (!s.detail.empty()) w_.key("detail").value(s.detail);
+  if (s.wait > 0) {
+    w_.key("wait_s").value(s.wait);
+    w_.key("resource").value(s.resource);
+  }
+  w_.end_object();
+  w_.end_object();
+}
+
+void ChromeTraceEmitter::flow_pair(int from_rank, double from_end,
+                                   int to_rank, double to_start) {
+  ++flow_;
+  w_.begin_object();
+  w_.key("ph").value("s");
+  w_.key("pid").value(0);
+  w_.key("tid").value(from_rank + 1);
+  w_.key("name").value("dep");
+  w_.key("cat").value("edge");
+  w_.key("id").value(std::uint64_t{flow_});
+  w_.key("ts").value(from_end * kMicros);
+  w_.end_object();
+  w_.begin_object();
+  w_.key("ph").value("f");
+  w_.key("bp").value("e");
+  w_.key("pid").value(0);
+  w_.key("tid").value(to_rank + 1);
+  w_.key("name").value("dep");
+  w_.key("cat").value("edge");
+  w_.key("id").value(std::uint64_t{flow_});
+  w_.key("ts").value(to_start * kMicros);
+  w_.end_object();
+}
+
+void ChromeTraceEmitter::finish() {
+  w_.end_array();
+  w_.end_object();
+  os_ << "\n";
+}
 
 void write_chrome_trace(std::ostream& os, const std::vector<Span>& spans,
                         const std::vector<SpanEdge>& edges) {
-  util::JsonWriter w(os);
-  w.begin_object();
-  w.key("displayTimeUnit").value("ms");
-  w.key("traceEvents").begin_array();
+  ChromeTraceEmitter em(os);
 
   // Thread-name metadata, one per distinct rank track, rank order.
   std::set<int> ranks;
   for (const Span& s : spans) ranks.insert(s.rank);
-  for (int rank : ranks) {
-    w.begin_object();
-    w.key("ph").value("M");
-    w.key("pid").value(0);
-    w.key("tid").value(rank + 1);
-    w.key("name").value("thread_name");
-    w.key("args").begin_object();
-    w.key("name").value(track_name(rank));
-    w.end_object();
-    w.end_object();
-  }
+  std::vector<TraceTrack> tracks;
+  tracks.reserve(ranks.size());
+  for (int rank : ranks) tracks.push_back({rank + 1, track_name(rank)});
+  em.begin(tracks);
 
   std::unordered_map<std::uint64_t, const Span*> by_id;
   by_id.reserve(spans.size());
   for (const Span& s : spans) by_id.emplace(s.id, &s);
 
-  for (const Span& s : spans) {
-    w.begin_object();
-    w.key("ph").value("X");
-    w.key("pid").value(0);
-    w.key("tid").value(s.rank + 1);
-    w.key("name").value(s.stage);
-    w.key("cat").value("pipeline");
-    w.key("ts").value(s.start * kMicros);
-    w.key("dur").value((s.end - s.start) * kMicros);
-    w.key("args").begin_object();
-    w.key("id").value(std::uint64_t{s.id});
-    if (s.parent != 0) w.key("parent").value(std::uint64_t{s.parent});
-    if (!s.detail.empty()) w.key("detail").value(s.detail);
-    if (s.wait > 0) {
-      w.key("wait_s").value(s.wait);
-      w.key("resource").value(s.resource);
-    }
-    w.end_object();
-    w.end_object();
-  }
+  for (const Span& s : spans) em.span_event(s);
 
-  // Happens-before edges as flow events: "s" anchored at the source span's
-  // end, "f" (bp:"e") binding to the destination slice.
-  std::uint64_t flow = 0;
   for (const SpanEdge& e : edges) {
     auto from_it = by_id.find(e.from);
     auto to_it = by_id.find(e.to);
     if (from_it == by_id.end() || to_it == by_id.end()) continue;
     const Span& from = *from_it->second;
     const Span& to = *to_it->second;
-    ++flow;
-    w.begin_object();
-    w.key("ph").value("s");
-    w.key("pid").value(0);
-    w.key("tid").value(from.rank + 1);
-    w.key("name").value("dep");
-    w.key("cat").value("edge");
-    w.key("id").value(std::uint64_t{flow});
-    w.key("ts").value(from.end * kMicros);
-    w.end_object();
-    w.begin_object();
-    w.key("ph").value("f");
-    w.key("bp").value("e");
-    w.key("pid").value(0);
-    w.key("tid").value(to.rank + 1);
-    w.key("name").value("dep");
-    w.key("cat").value("edge");
-    w.key("id").value(std::uint64_t{flow});
-    w.key("ts").value(to.start * kMicros);
-    w.end_object();
+    em.flow_pair(from.rank, from.end, to.rank, to.start);
   }
 
-  w.end_array();
-  w.end_object();
-  os << "\n";
+  em.finish();
 }
 
 void write_metrics_json(std::ostream& os, const MetricsSnapshot& snap) {
@@ -154,6 +182,10 @@ void write_metrics_json(std::ostream& os, const MetricsSnapshot& snap) {
 }
 
 void write_metrics_csv(std::ostream& os, const MetricsSnapshot& snap) {
+  // Pinned layout: header `kind,name,key,value`, then counters, gauges,
+  // histograms (count, sum, buckets), series samples — each section in the
+  // snapshot's (sorted-map) name order. bench_diff.py and downstream
+  // scripts rely on this order; change it only with a schema version bump.
   os << "kind,name,key,value\n";
   auto fmt = [](double v) {
     char buf[64];
@@ -161,19 +193,20 @@ void write_metrics_csv(std::ostream& os, const MetricsSnapshot& snap) {
     return std::string(buf);
   };
   for (const auto& [name, v] : snap.counters)
-    os << "counter," << name << ",," << v << "\n";
+    os << "counter," << csv_field(name) << ",," << v << "\n";
   for (const auto& [name, v] : snap.gauges)
-    os << "gauge," << name << ",," << fmt(v) << "\n";
+    os << "gauge," << csv_field(name) << ",," << fmt(v) << "\n";
   for (const auto& [name, h] : snap.histograms) {
-    os << "histogram," << name << ",count," << h.count << "\n";
-    os << "histogram," << name << ",sum," << fmt(h.sum()) << "\n";
+    os << "histogram," << csv_field(name) << ",count," << h.count << "\n";
+    os << "histogram," << csv_field(name) << ",sum," << fmt(h.sum()) << "\n";
     for (const auto& [bucket, count] : h.buckets)
-      os << "histogram_bucket," << name << "," << bucket << "," << count
-         << "\n";
+      os << "histogram_bucket," << csv_field(name) << "," << bucket << ","
+         << count << "\n";
   }
   for (const auto& [name, ts] : snap.series)
     for (const auto& [t, v] : ts.samples)
-      os << "sample," << name << "," << fmt(t) << "," << fmt(v) << "\n";
+      os << "sample," << csv_field(name) << "," << fmt(t) << "," << fmt(v)
+         << "\n";
 }
 
 void export_trace(const std::string& path, const Tracer& tracer) {

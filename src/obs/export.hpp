@@ -13,8 +13,50 @@
 
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "util/json.hpp"
 
 namespace amrio::obs {
+
+/// A (tid, display name) pair for the trace's thread-name metadata block.
+struct TraceTrack {
+  int tid = 0;
+  std::string name;
+};
+
+/// Display name of a rank's track: "driver" for rank < 0, "rank N" otherwise.
+std::string track_name(int rank);
+
+/// Low-level Chrome-trace event emitter shared by the buffered
+/// (`write_chrome_trace`) and streaming (`TraceStream`, stream.hpp) export
+/// paths. Both paths funnel every byte through these methods, which is what
+/// makes streaming-vs-buffered byte-identity hold by construction rather
+/// than by parallel maintenance. Call order: begin → span_event* →
+/// flow_pair* → finish.
+class ChromeTraceEmitter {
+ public:
+  explicit ChromeTraceEmitter(std::ostream& os) : os_(os), w_(os) {}
+
+  /// Preamble + one "M" thread_name metadata event per track, in order.
+  void begin(const std::vector<TraceTrack>& tracks);
+
+  /// One "X" complete event. `ts`/`dur` are virtual seconds scaled to
+  /// trace microseconds.
+  void span_event(const Span& s);
+
+  /// One happens-before edge as an "s"/"f" flow pair with an
+  /// auto-incrementing flow id: "s" anchored at the source span's end,
+  /// "f" (bp:"e") binding to the destination slice's start.
+  void flow_pair(int from_rank, double from_end, int to_rank,
+                 double to_start);
+
+  /// Epilogue (closes the traceEvents array and root object).
+  void finish();
+
+ private:
+  std::ostream& os_;
+  util::JsonWriter w_;
+  std::uint64_t flow_ = 0;
+};
 
 /// Chrome trace event format: one "X" (complete) event per span with ts/dur
 /// in virtual microseconds, tid = rank + 1 (the rank -1 driver track is
@@ -26,8 +68,11 @@ void write_chrome_trace(std::ostream& os, const std::vector<Span>& spans,
 /// Metrics snapshot as nested JSON: {counters, gauges, histograms, series}.
 void write_metrics_json(std::ostream& os, const MetricsSnapshot& snap);
 
-/// Metrics snapshot as flat CSV: kind,name,key,value — one row per counter,
-/// gauge, histogram stat/bucket, and series sample.
+/// Metrics snapshot as flat CSV. The column order is pinned to
+/// `kind,name,key,value` and the row order to counters, gauges, histograms
+/// (count, sum, then buckets), series samples — `tools/bench_diff.py` and
+/// downstream scripts parse it positionally. Fields containing commas,
+/// quotes, or newlines are RFC-4180 quoted.
 void write_metrics_csv(std::ostream& os, const MetricsSnapshot& snap);
 
 /// Write `tracer`'s merged snapshot to `path` as Chrome-trace JSON.

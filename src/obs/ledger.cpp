@@ -1,0 +1,163 @@
+#include "obs/ledger.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace amrio::obs {
+namespace {
+
+std::string pct(double frac) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", frac * 100.0);
+  return buf;
+}
+
+}  // namespace
+
+void ResourceLedger::declare(const std::string& name, int capacity) {
+  if (capacity < 1) capacity = 1;
+  std::lock_guard<std::mutex> lock(mu_);
+  Res& r = resources_[name];
+  r.capacity = std::max(r.capacity, capacity);
+}
+
+void ResourceLedger::add_busy(const std::string& name, double seconds) {
+  if (seconds <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  resources_[name].busy_s += seconds;
+}
+
+void ResourceLedger::queue_delta(const std::string& name, double t,
+                                 int delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  resources_[name].qdeltas.emplace_back(t + epoch_offset_, delta);
+}
+
+void ResourceLedger::extend_makespan(double t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  epoch_max_ = std::max(epoch_max_, t);
+}
+
+void ResourceLedger::begin_epoch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  epoch_offset_ += epoch_max_;
+  epoch_max_ = 0.0;
+}
+
+UtilizationReport ResourceLedger::report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  UtilizationReport rep;
+  rep.makespan = epoch_offset_ + epoch_max_;
+  rep.resources.reserve(resources_.size());
+  for (const auto& [name, res] : resources_) {
+    ResourceUtilization u;
+    u.name = name;
+    u.capacity = res.capacity;
+    u.busy_s = res.busy_s;
+    const double pool = res.capacity * rep.makespan;
+    u.idle_s = pool - res.busy_s;
+    u.busy_frac = pool > 0 ? res.busy_s / pool : 0.0;
+
+    if (!res.qdeltas.empty()) {
+      // Sum same-time deltas before scanning so peak depth is well-defined
+      // regardless of emission order within one event time.
+      std::map<double, long long> by_t;
+      for (const auto& [t, d] : res.qdeltas) by_t[t] += d;
+      long long depth = 0;
+      long long peak = 0;
+      double weighted = 0.0;
+      double prev_t = 0.0;
+      for (const auto& [t, d] : by_t) {
+        if (t > prev_t) weighted += static_cast<double>(depth) * (t - prev_t);
+        depth += d;
+        peak = std::max(peak, depth);
+        prev_t = std::max(prev_t, t);
+      }
+      if (rep.makespan > prev_t)
+        weighted += static_cast<double>(depth) * (rep.makespan - prev_t);
+      u.queue_peak = static_cast<int>(peak);
+      u.queue_avg = rep.makespan > 0 ? weighted / rep.makespan : 0.0;
+    }
+    rep.resources.push_back(std::move(u));
+  }
+  std::sort(rep.resources.begin(), rep.resources.end(),
+            [](const ResourceUtilization& a, const ResourceUtilization& b) {
+              if (a.busy_frac != b.busy_frac) return a.busy_frac > b.busy_frac;
+              return a.name < b.name;
+            });
+  return rep;
+}
+
+std::string UtilizationReport::top_summary(std::size_t n) const {
+  std::ostringstream os;
+  std::size_t shown = 0;
+  for (const ResourceUtilization& u : resources) {
+    if (shown == n) break;
+    if (shown > 0) os << ", ";
+    os << u.name << " " << pct(u.busy_frac) << " busy";
+    ++shown;
+  }
+  if (shown == 0) os << "(no resources observed)";
+  return os.str();
+}
+
+void write_utilization_json(std::ostream& os, const UtilizationReport& rep) {
+  util::JsonWriter w(os, /*pretty=*/true);
+  w.begin_object();
+  w.key("makespan").value(rep.makespan);
+  w.key("resources").begin_array();
+  for (const ResourceUtilization& u : rep.resources) {
+    w.begin_object();
+    w.key("name").value(u.name);
+    w.key("capacity").value(u.capacity);
+    w.key("busy_s").value(u.busy_s);
+    w.key("idle_s").value(u.idle_s);
+    w.key("busy_frac").value(u.busy_frac);
+    w.key("queue_peak").value(u.queue_peak);
+    w.key("queue_avg").value(u.queue_avg);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << "\n";
+}
+
+std::string utilization_table(const UtilizationReport& rep,
+                              std::size_t top_n) {
+  std::ostringstream os;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-28s %4s %12s %12s %7s %6s %9s\n",
+                "resource", "cap", "busy_s", "idle_s", "busy", "qpeak",
+                "qavg");
+  os << line;
+  std::size_t shown = 0;
+  for (const ResourceUtilization& u : rep.resources) {
+    if (top_n != 0 && shown == top_n) break;
+    std::snprintf(line, sizeof(line),
+                  "%-28s %4d %12.6f %12.6f %7s %6d %9.3f\n", u.name.c_str(),
+                  u.capacity, u.busy_s, u.idle_s, pct(u.busy_frac).c_str(),
+                  u.queue_peak, u.queue_avg);
+    os << line;
+    ++shown;
+  }
+  if (top_n != 0 && rep.resources.size() > shown) {
+    std::snprintf(line, sizeof(line), "... (%zu more)\n",
+                  rep.resources.size() - shown);
+    os << line;
+  }
+  return os.str();
+}
+
+void export_utilization(const std::string& path,
+                        const UtilizationReport& rep) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("obs: cannot open " + path);
+  write_utilization_json(out, rep);
+}
+
+}  // namespace amrio::obs

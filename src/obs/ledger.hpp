@@ -1,0 +1,108 @@
+#pragma once
+/// \file ledger.hpp
+/// Per-resource utilization accounting on the virtual clock. The critical
+/// path names ONE binding resource; the ledger supersedes that with the full
+/// picture: every OST, drain/prefetch stream pool, BB ingest/read port, agg
+/// link, and codec CPU pool reports busy seconds, idle seconds, and queue
+/// depth over the run, so "what do I buy more of?" has a ranked answer.
+///
+/// Semantics — a resource is a named server pool with a declared capacity C
+/// (1 for a single OST, `drain_concurrency` for a node's drain streams, ...):
+///   busy_s      accumulated service seconds across the pool (≤ C·makespan)
+///   idle_s      C·makespan − busy_s
+///   busy_frac   busy_s / (C·makespan)
+/// so per resource busy_s + idle_s = C·makespan exactly (the conservation
+/// law tests/test_obs.cpp pins; for C = 1 that is busy + idle = makespan).
+/// Queue depth is tracked as (time, ±delta) events and reported as peak and
+/// time-weighted average.
+///
+/// Determinism: all mutators are commutative (sums, max) or emitted from
+/// deterministic post-event-loop code, so the report — like every obs
+/// export — is engine-invariant.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace amrio::obs {
+
+/// One resource's line in the utilization report.
+struct ResourceUtilization {
+  std::string name;
+  int capacity = 1;
+  double busy_s = 0.0;
+  double idle_s = 0.0;
+  double busy_frac = 0.0;
+  int queue_peak = 0;
+  double queue_avg = 0.0;  ///< time-weighted mean depth over [0, makespan]
+};
+
+struct UtilizationReport {
+  double makespan = 0.0;
+  /// Sorted by busy_frac descending (name ascending on ties) — the top
+  /// entries are the bottlenecks.
+  std::vector<ResourceUtilization> resources;
+
+  /// One-line "what's hot": up to `n` leading resources with busy %.
+  std::string top_summary(std::size_t n = 3) const;
+};
+
+/// Thread-safe accumulator behind `obs::Probe::ledger`.
+class ResourceLedger {
+ public:
+  /// Declare (or widen) a resource's pool capacity. Idempotent; the larger
+  /// capacity wins so repeated per-dump declarations are harmless.
+  void declare(const std::string& name, int capacity);
+
+  /// Accumulate service time. Declares the resource (capacity 1) on first
+  /// touch so call sites don't need a declare/add dance.
+  void add_busy(const std::string& name, double seconds);
+
+  /// Record a queue-depth change of `delta` at virtual time `t` (relative
+  /// to the current epoch's t = 0).
+  void queue_delta(const std::string& name, double t, int delta);
+
+  /// Extend the current epoch's makespan high-water (gauge-max semantics).
+  void extend_makespan(double t);
+
+  /// Close the current timeline epoch and start a new one at t = 0.
+  ///
+  /// A dump phase and a restart phase are *independent* virtual timelines
+  /// that both start at zero; overlaying them on one clock would sum their
+  /// busy seconds against the max of their makespans and break the
+  /// conservation law (busy could exceed C·makespan). Epochs concatenate
+  /// instead: the report's makespan is the SUM of per-epoch maxima, and
+  /// queue times shift by the preceding epochs' total, so per resource
+  /// busy_s ≤ C·makespan still holds — each epoch's busy is bounded by its
+  /// own C·makespan_i and the bounds add.
+  void begin_epoch();
+
+  UtilizationReport report() const;
+
+ private:
+  struct Res {
+    int capacity = 1;
+    double busy_s = 0.0;
+    std::vector<std::pair<double, int>> qdeltas;
+  };
+  mutable std::mutex mu_;
+  std::map<std::string, Res> resources_;
+  double epoch_offset_ = 0.0;  ///< sum of closed epochs' makespans
+  double epoch_max_ = 0.0;     ///< current epoch's makespan high-water
+};
+
+/// Utilization report as JSON: {makespan, resources: [{name, capacity,
+/// busy_s, idle_s, busy_frac, queue_peak, queue_avg}, ...]}.
+void write_utilization_json(std::ostream& os, const UtilizationReport& rep);
+
+/// Fixed-width text table of the top `top_n` resources (all when 0).
+std::string utilization_table(const UtilizationReport& rep,
+                              std::size_t top_n = 12);
+
+/// Write the report to `path` as JSON. Throws when the file cannot open.
+void export_utilization(const std::string& path, const UtilizationReport& rep);
+
+}  // namespace amrio::obs

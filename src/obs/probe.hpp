@@ -3,21 +3,23 @@
 /// The instrumentation handle threaded through the pipeline. Every
 /// instrumented layer (`codec` stage inside the macsio driver, `exec`
 /// collectives, `StagingBackend`, `pfs::SimFs`, `plotfile::write_plotfile`)
-/// takes an `obs::Probe` — a pair of optional pointers. A default-constructed
-/// probe disables instrumentation with near-zero overhead (two null checks
-/// per site), so hot paths don't fork on an #ifdef.
+/// takes an `obs::Probe` — a bundle of optional pointers. A
+/// default-constructed probe disables instrumentation with near-zero overhead
+/// (a few null checks per site), so hot paths don't fork on an #ifdef.
 
 namespace amrio::obs {
 
-class Tracer;
+class SpanSink;
 class MetricsRegistry;
+class ResourceLedger;
 
 struct Probe {
-  Tracer* tracer = nullptr;
+  SpanSink* tracer = nullptr;  ///< buffered Tracer or streaming TraceStream
   MetricsRegistry* metrics = nullptr;
+  ResourceLedger* ledger = nullptr;  ///< per-resource busy/idle/queue ledger
 
   explicit operator bool() const {
-    return tracer != nullptr || metrics != nullptr;
+    return tracer != nullptr || metrics != nullptr || ledger != nullptr;
   }
 };
 

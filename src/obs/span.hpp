@@ -44,19 +44,39 @@ struct SpanEdge {
   std::uint64_t to = 0;
 };
 
-/// Contention-free span collector. Thread-safe: ranks hash to one of
-/// `nsinks` sinks (mixed hash, see shard.hpp) and only contend within a
-/// shard. Snapshot accessors merge deterministically.
-class Tracer {
+/// The rank track a span id belongs to (inverse of the id layout).
+inline int span_rank(std::uint64_t id) {
+  return static_cast<int>(static_cast<std::int64_t>(id >> 32)) - 1;
+}
+
+/// Abstract destination for recorded spans. Instrumentation sites only ever
+/// `record` and `edge`; what happens to the span afterwards — buffered in
+/// memory (`Tracer`) or streamed through bounded buffers to a file
+/// (`TraceStream`, stream.hpp) — is the sink's business. Every sink assigns
+/// ids with the same `(rank+1) << 32 | per-rank-seq` rule, so the id a site
+/// gets back is independent of the sink implementation.
+class SpanSink {
  public:
-  explicit Tracer(std::size_t nsinks = 64);
+  virtual ~SpanSink() = default;
 
   /// Record a span; assigns and returns its id. `s.id` is ignored on input.
   /// Ids are deterministic given per-rank program order.
-  std::uint64_t record(Span s);
+  virtual std::uint64_t record(Span s) = 0;
 
   /// Record a happens-before edge between two previously recorded spans.
-  void edge(std::uint64_t from, std::uint64_t to);
+  virtual void edge(std::uint64_t from, std::uint64_t to) = 0;
+};
+
+/// Contention-free span collector. Thread-safe: ranks hash to one of
+/// `nsinks` sinks (mixed hash, see shard.hpp) and only contend within a
+/// shard. Snapshot accessors merge deterministically.
+class Tracer : public SpanSink {
+ public:
+  explicit Tracer(std::size_t nsinks = 64);
+
+  std::uint64_t record(Span s) override;
+
+  void edge(std::uint64_t from, std::uint64_t to) override;
 
   /// Deterministic merged snapshot, ordered by (start, rank, id).
   std::vector<Span> spans() const;

@@ -1,0 +1,386 @@
+#include "obs/stream.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdio>  // std::remove
+#include <fstream>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "obs/export.hpp"
+#include "obs/shard.hpp"
+
+namespace amrio::obs {
+namespace {
+
+/// Global span order shared with Tracer::spans() and the spill runs.
+bool span_less(const Span& a, const Span& b) {
+  if (a.start != b.start) return a.start < b.start;
+  if (a.rank != b.rank) return a.rank < b.rank;
+  return a.id < b.id;
+}
+
+void put_u32(std::ostream& os, std::uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void put_str(std::ostream& os, const std::string& s) {
+  put_u32(os, static_cast<std::uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void put_span(std::ostream& os, const Span& s) {
+  os.write(reinterpret_cast<const char*>(&s.id), sizeof(s.id));
+  os.write(reinterpret_cast<const char*>(&s.parent), sizeof(s.parent));
+  os.write(reinterpret_cast<const char*>(&s.rank), sizeof(s.rank));
+  os.write(reinterpret_cast<const char*>(&s.start), sizeof(s.start));
+  os.write(reinterpret_cast<const char*>(&s.end), sizeof(s.end));
+  os.write(reinterpret_cast<const char*>(&s.wait), sizeof(s.wait));
+  put_str(os, s.stage);
+  put_str(os, s.detail);
+  put_str(os, s.resource);
+}
+
+std::string get_str(std::istream& is) {
+  std::uint32_t n = 0;
+  is.read(reinterpret_cast<char*>(&n), sizeof(n));
+  std::string s(n, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  return s;
+}
+
+Span get_span(std::istream& is) {
+  Span s;
+  is.read(reinterpret_cast<char*>(&s.id), sizeof(s.id));
+  is.read(reinterpret_cast<char*>(&s.parent), sizeof(s.parent));
+  is.read(reinterpret_cast<char*>(&s.rank), sizeof(s.rank));
+  is.read(reinterpret_cast<char*>(&s.start), sizeof(s.start));
+  is.read(reinterpret_cast<char*>(&s.end), sizeof(s.end));
+  is.read(reinterpret_cast<char*>(&s.wait), sizeof(s.wait));
+  s.stage = get_str(is);
+  s.detail = get_str(is);
+  s.resource = get_str(is);
+  return s;
+}
+
+constexpr std::size_t kRefillBatch = 256;  // spans read per spill-run refill
+
+}  // namespace
+
+std::vector<int> TraceSample::sample_set(int nranks, int n) {
+  std::vector<int> out;
+  if (nranks <= 0 || n <= 0) return out;
+  if (n >= nranks) {
+    out.resize(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) out[static_cast<std::size_t>(r)] = r;
+    return out;
+  }
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    // floor(i * nranks / n) in 64-bit so 131072 * large-N cannot overflow
+    const int r = static_cast<int>(static_cast<std::int64_t>(i) * nranks / n);
+    if (out.empty() || out.back() != r) out.push_back(r);
+  }
+  return out;
+}
+
+void TraceSample::seal() {
+  kept_.clear();
+  for (int r : sample_set(nranks, sample)) kept_.insert(r);
+  for (int r : keep_extra) kept_.insert(r);
+  sealed_ = true;
+}
+
+bool TraceSample::keep(int rank) const {
+  if (!enabled()) return true;
+  if (rank < 0) return true;  // driver / phase track is always kept
+  assert(sealed_);
+  return kept_.count(rank) != 0;
+}
+
+TraceStream::TraceStream(Options opt) : opt_(std::move(opt)) {
+  if (opt_.nsinks == 0) opt_.nsinks = 1;
+  if (opt_.shard_capacity == 0) opt_.shard_capacity = 1;
+  opt_.sample.seal();
+  shards_.reserve(opt_.nsinks);
+  for (std::size_t i = 0; i < opt_.nsinks; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+  spill_path_ = opt_.path + ".spill";
+}
+
+TraceStream::~TraceStream() {
+  if (spill_open_) std::remove(spill_path_.c_str());
+}
+
+TraceStream::Shard& TraceStream::shard_for(int rank) {
+  return *shards_[rank_shard(rank, shards_.size())];
+}
+
+std::uint64_t TraceStream::record(Span s) {
+  assert(s.end >= s.start);
+  Shard& sh = shard_for(s.rank);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  // Identical id rule to Tracer::record — a sampled stream's kept spans
+  // carry the ids a buffered run would have assigned them.
+  const std::uint32_t seq = ++sh.next_seq[s.rank];
+  s.id = (static_cast<std::uint64_t>(static_cast<std::int64_t>(s.rank) + 1)
+          << 32) |
+         seq;
+  const std::uint64_t id = s.id;
+  ++sh.recorded;
+  if (opt_.sample.keep(s.rank)) {
+    ++sh.kept;
+    sh.ranks_seen.insert(s.rank);
+    sh.buf.push_back(std::move(s));
+    sh.peak = std::max(sh.peak, sh.buf.size());
+    if (sh.buf.size() >= opt_.shard_capacity) spill_locked(sh);
+  } else {
+    // Dropped spans fold into a per-stage envelope. Integer-nanosecond sums
+    // and min/max are commutative, so the aggregate — like everything else
+    // here — is engine- and interleaving-invariant.
+    auto [it, fresh] = sh.dropped.try_emplace(s.stage);
+    StageAgg& agg = it->second;
+    if (fresh) {
+      agg.min_start = s.start;
+      agg.max_end = s.end;
+    } else {
+      agg.min_start = std::min(agg.min_start, s.start);
+      agg.max_end = std::max(agg.max_end, s.end);
+    }
+    ++agg.count;
+    agg.dur_ns += std::llround((s.end - s.start) * 1e9);
+    agg.wait_ns += std::llround(s.wait * 1e9);
+  }
+  return id;
+}
+
+void TraceStream::edge(std::uint64_t from, std::uint64_t to) {
+  if (!opt_.sample.keep(span_rank(from)) || !opt_.sample.keep(span_rank(to)))
+    return;
+  Shard& sh = shard_for(span_rank(from));
+  std::lock_guard<std::mutex> lock(sh.mu);
+  sh.edges.push_back(SpanEdge{from, to});
+}
+
+void TraceStream::spill_locked(Shard& sh) {
+  std::sort(sh.buf.begin(), sh.buf.end(), span_less);
+  std::lock_guard<std::mutex> lock(spill_mu_);
+  std::ofstream out(spill_path_, spill_open_
+                                     ? (std::ios::binary | std::ios::app)
+                                     : (std::ios::binary | std::ios::trunc));
+  if (!out) throw std::runtime_error("obs: cannot open " + spill_path_);
+  spill_open_ = true;
+  out.seekp(0, std::ios::end);
+  RunInfo run;
+  run.offset = static_cast<std::uint64_t>(out.tellp());
+  run.count = sh.buf.size();
+  for (const Span& s : sh.buf) put_span(out, s);
+  if (!out) throw std::runtime_error("obs: short write to " + spill_path_);
+  runs_.push_back(run);
+  sh.buf.clear();
+}
+
+std::size_t TraceStream::peak_buffered_spans() const {
+  std::size_t total = 0;
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    total += sh->peak;
+  }
+  return total;
+}
+
+std::uint64_t TraceStream::spans_recorded() const {
+  std::uint64_t total = 0;
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    total += sh->recorded;
+  }
+  return total;
+}
+
+std::uint64_t TraceStream::spans_kept() const {
+  std::uint64_t total = 0;
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    total += sh->kept;
+  }
+  return total;
+}
+
+void TraceStream::finish() {
+  if (finished_) throw std::logic_error("TraceStream::finish called twice");
+  finished_ = true;
+
+  // One run per spill + one per non-empty shard remainder (+ the aggregate
+  // run). Everything below runs single-threaded; locks are no longer needed
+  // but we take them anyway so a late-recording thread fails loudly on the
+  // sorted buffers rather than corrupting them silently.
+  struct Cursor {
+    std::vector<Span> buf;  // whole run (in-memory) or refill window (file)
+    std::size_t idx = 0;
+    std::uint64_t remaining = 0;  // spans still in the file beyond `buf`
+    std::uint64_t offset = 0;     // next byte to read from the spill file
+  };
+  std::vector<Cursor> cursors;
+
+  std::set<int> ranks;
+  std::vector<SpanEdge> edges;
+  std::map<std::string, StageAgg> dropped;
+  for (auto& shp : shards_) {
+    Shard& sh = *shp;
+    std::lock_guard<std::mutex> lock(sh.mu);
+    std::sort(sh.buf.begin(), sh.buf.end(), span_less);
+    if (!sh.buf.empty()) {
+      Cursor c;
+      c.buf = std::move(sh.buf);
+      cursors.push_back(std::move(c));
+    }
+    ranks.insert(sh.ranks_seen.begin(), sh.ranks_seen.end());
+    edges.insert(edges.end(), sh.edges.begin(), sh.edges.end());
+    for (const auto& [stage, agg] : sh.dropped) {
+      auto [it, fresh] = dropped.try_emplace(stage, agg);
+      if (!fresh) {
+        StageAgg& d = it->second;
+        d.count += agg.count;
+        d.dur_ns += agg.dur_ns;
+        d.wait_ns += agg.wait_ns;
+        d.min_start = std::min(d.min_start, agg.min_start);
+        d.max_end = std::max(d.max_end, agg.max_end);
+      }
+    }
+  }
+
+  std::sort(edges.begin(), edges.end(),
+            [](const SpanEdge& a, const SpanEdge& b) {
+              if (a.from != b.from) return a.from < b.from;
+              return a.to < b.to;
+            });
+
+  // Envelope spans for the sampled-away ranks, one per stage on a synthetic
+  // "aggregated" track just above the real rank range.
+  const int agg_rank = opt_.sample.nranks;
+  if (!dropped.empty()) {
+    Cursor c;
+    std::uint32_t seq = 0;
+    for (const auto& [stage, agg] : dropped) {
+      Span s;
+      s.id = (static_cast<std::uint64_t>(agg_rank + 1) << 32) | ++seq;
+      s.rank = agg_rank;
+      s.stage = stage;
+      s.start = agg.min_start;
+      s.end = agg.max_end;
+      s.wait = static_cast<double>(agg.wait_ns) / 1e9;
+      if (s.wait > 0) s.resource = "(aggregated)";
+      char detail[96];
+      std::snprintf(detail, sizeof(detail), "%llu spans, %.9f s busy",
+                    static_cast<unsigned long long>(agg.count),
+                    static_cast<double>(agg.dur_ns) / 1e9);
+      s.detail = detail;
+      c.buf.push_back(std::move(s));
+    }
+    std::sort(c.buf.begin(), c.buf.end(), span_less);
+    cursors.push_back(std::move(c));
+    ranks.insert(agg_rank);
+  }
+
+  std::ifstream spill;
+  if (!runs_.empty()) {
+    spill.open(spill_path_, std::ios::binary);
+    if (!spill) throw std::runtime_error("obs: cannot reopen " + spill_path_);
+    for (const RunInfo& run : runs_) {
+      Cursor c;
+      c.remaining = run.count;
+      c.offset = run.offset;
+      cursors.push_back(std::move(c));
+    }
+  }
+
+  auto refill = [&](Cursor& c) {
+    c.buf.clear();
+    c.idx = 0;
+    const std::uint64_t n =
+        std::min<std::uint64_t>(c.remaining, kRefillBatch);
+    if (n == 0) return;
+    spill.seekg(static_cast<std::streamoff>(c.offset));
+    c.buf.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) c.buf.push_back(get_span(spill));
+    if (!spill) throw std::runtime_error("obs: short read from " + spill_path_);
+    c.offset = static_cast<std::uint64_t>(spill.tellg());
+    c.remaining -= n;
+  };
+  for (Cursor& c : cursors)
+    if (c.buf.empty()) refill(c);
+
+  // Which span coordinates the flow-pair pass will need: collect them during
+  // the merge so memory stays O(edges), never O(spans).
+  std::unordered_set<std::uint64_t> needed;
+  needed.reserve(edges.size() * 2);
+  for (const SpanEdge& e : edges) {
+    needed.insert(e.from);
+    needed.insert(e.to);
+  }
+  struct Coord {
+    int rank;
+    double start, end;
+  };
+  std::unordered_map<std::uint64_t, Coord> coords;
+  coords.reserve(needed.size());
+
+  std::ofstream out(opt_.path, std::ios::binary);
+  if (!out) throw std::runtime_error("obs: cannot open " + opt_.path);
+  ChromeTraceEmitter em(out);
+
+  std::vector<TraceTrack> tracks;
+  tracks.reserve(ranks.size());
+  for (int rank : ranks)
+    tracks.push_back({rank + 1, opt_.sample.enabled() && rank == agg_rank
+                                    ? std::string("aggregated")
+                                    : track_name(rank)});
+  em.begin(tracks);
+
+  // K-way merge of the sorted runs under the global (start, rank, id) order.
+  auto heap_greater = [&](std::size_t a, std::size_t b) {
+    return span_less(cursors[b].buf[cursors[b].idx],
+                     cursors[a].buf[cursors[a].idx]);
+  };
+  std::priority_queue<std::size_t, std::vector<std::size_t>,
+                      decltype(heap_greater)>
+      heap(heap_greater);
+  for (std::size_t i = 0; i < cursors.size(); ++i)
+    if (cursors[i].idx < cursors[i].buf.size()) heap.push(i);
+  while (!heap.empty()) {
+    const std::size_t i = heap.top();
+    heap.pop();
+    Cursor& c = cursors[i];
+    const Span& s = c.buf[c.idx];
+    em.span_event(s);
+    if (needed.count(s.id)) coords.emplace(s.id, Coord{s.rank, s.start, s.end});
+    ++c.idx;
+    if (c.idx >= c.buf.size()) refill(c);
+    if (c.idx < c.buf.size()) heap.push(i);
+  }
+
+  // Same skip-missing-endpoint rule and iteration order as the buffered
+  // exporter, so flow ids line up byte for byte.
+  for (const SpanEdge& e : edges) {
+    auto from_it = coords.find(e.from);
+    auto to_it = coords.find(e.to);
+    if (from_it == coords.end() || to_it == coords.end()) continue;
+    em.flow_pair(from_it->second.rank, from_it->second.end,
+                 to_it->second.rank, to_it->second.start);
+  }
+
+  em.finish();
+  out.close();
+  if (spill_open_) {
+    spill.close();
+    std::remove(spill_path_.c_str());
+    spill_open_ = false;
+  }
+}
+
+}  // namespace amrio::obs

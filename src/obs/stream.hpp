@@ -1,0 +1,131 @@
+#pragma once
+/// \file stream.hpp
+/// Streaming trace export for machine-scale runs. `obs::Tracer` buffers
+/// every span of every rank in memory, which is fine at 32 ranks and
+/// hopeless at the 100k–516k virtual ranks `exec::EventEngine` makes
+/// routine. `TraceStream` is a `SpanSink` that keeps peak memory bounded:
+///
+///  * spans land in bounded per-shard buffers (same splitmix64 rank
+///    sharding as `Tracer`, same id assignment, so ids — and therefore
+///    edges — are identical to a buffered run of the same workload);
+///  * a full shard buffer is sorted by the global `(start, rank, id)` order
+///    and spilled to a binary side file as a sorted run;
+///  * `finish()` k-way-merges the spilled runs with the still-buffered
+///    remainders and emits the final Chrome-trace JSON through the same
+///    `ChromeTraceEmitter` the buffered exporter uses — an unsampled
+///    streamed file is byte-identical to `write_chrome_trace` on the same
+///    span stream (pinned by tests/test_obs.cpp).
+///
+/// Deterministic rank sampling (`TraceSample`) bounds the *output* as well:
+/// only spans from N evenly spaced representative ranks (plus the driver
+/// track and any caller-listed always-keep ranks, e.g. aggregators) are kept
+/// verbatim; everything else folds into per-stage envelope spans on a
+/// single "aggregated" track. The sample set is a pure function of
+/// (nranks, N), so it is identical across engines and runs.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+
+namespace amrio::obs {
+
+/// Deterministic rank-sampling policy. Default-constructed keeps everything.
+struct TraceSample {
+  int nranks = 0;  ///< total rank count of the run (for the sample spacing)
+  int sample = 0;  ///< keep this many evenly spaced ranks; 0 = keep all
+  std::vector<int> keep_extra;  ///< always-keep ranks (aggregators, ...)
+
+  /// The N evenly spaced representative ranks: { floor(i*nranks/N) }.
+  /// Pure function of (nranks, n) — same set on every engine and run.
+  static std::vector<int> sample_set(int nranks, int n);
+
+  bool enabled() const { return sample > 0; }
+
+  /// True when `rank`'s spans are kept verbatim. Rank -1 (driver) always is.
+  bool keep(int rank) const;
+
+  /// Builds the membership set; call once after filling the fields.
+  void seal();
+
+ private:
+  std::set<int> kept_;
+  bool sealed_ = false;
+};
+
+/// Bounded-memory streaming span sink. Thread-safe like `Tracer` (per-shard
+/// mutexes). Call `finish()` exactly once when the run is complete; the
+/// destructor discards unfinished state and removes the spill file.
+class TraceStream : public SpanSink {
+ public:
+  struct Options {
+    std::string path;           ///< output Chrome-trace JSON path
+    TraceSample sample;         ///< default: keep every span
+    std::size_t shard_capacity = 4096;  ///< spans buffered per shard
+    std::size_t nsinks = 64;    ///< shard count (same default as Tracer)
+  };
+
+  explicit TraceStream(Options opt);
+  ~TraceStream() override;
+
+  std::uint64_t record(Span s) override;
+  void edge(std::uint64_t from, std::uint64_t to) override;
+
+  /// Merge spilled runs + in-memory remainders and write the final JSON.
+  void finish();
+
+  /// Sum over shards of each shard's buffered-span high-water mark — an
+  /// upper bound on how many spans were ever resident at once. With
+  /// `shard_capacity` C and S shards this never exceeds S*C regardless of
+  /// how many spans the run records (the boundedness the 131k test pins).
+  std::size_t peak_buffered_spans() const;
+
+  /// Spans recorded (pre-sampling) / kept verbatim (post-sampling).
+  std::uint64_t spans_recorded() const;
+  std::uint64_t spans_kept() const;
+
+  bool finished() const { return finished_; }
+
+ private:
+  struct StageAgg {  // envelope of one stage's dropped spans
+    std::uint64_t count = 0;
+    std::int64_t dur_ns = 0;   // integer sums: commutative across engines
+    std::int64_t wait_ns = 0;
+    double min_start = 0.0;
+    double max_end = 0.0;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::vector<Span> buf;
+    std::vector<SpanEdge> edges;
+    std::map<int, std::uint32_t> next_seq;
+    std::map<std::string, StageAgg> dropped;  // only when sampling
+    std::set<int> ranks_seen;                 // kept ranks only
+    std::size_t peak = 0;
+    std::uint64_t recorded = 0;
+    std::uint64_t kept = 0;
+  };
+
+  Shard& shard_for(int rank);
+  void spill_locked(Shard& sh);  // caller holds sh.mu
+
+  Options opt_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::mutex spill_mu_;
+  std::string spill_path_;
+  struct RunInfo {
+    std::uint64_t offset = 0;
+    std::uint64_t count = 0;
+  };
+  std::vector<RunInfo> runs_;
+  bool spill_open_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace amrio::obs

@@ -6,6 +6,7 @@
 #include <map>
 #include <queue>
 
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "util/assert.hpp"
@@ -96,6 +97,22 @@ std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests,
   const bool want_series = cfg_.bb.enabled && probe.metrics != nullptr;
   std::vector<std::pair<double, std::int64_t>> occ_deltas;    // occupancy
   std::vector<std::pair<double, std::int64_t>> drain_deltas;  // busy streams
+
+  // Resource-ledger bookkeeping: per-OST service seconds accumulated at
+  // chunk grain, and (resource, time, ±delta) queue-depth events for the
+  // stream pools / capacity wait lists. All of it is recorded from the
+  // deterministic event loop, so the ledger is engine-invariant like the
+  // spans.
+  const bool want_ledger = probe.ledger != nullptr;
+  std::vector<double> ost_busy(
+      want_ledger ? static_cast<std::size_t>(cfg_.n_ost) : 0, 0.0);
+  std::vector<std::tuple<std::string, double, int>> ledger_q;
+  auto bb_res = [](int node, const char* what) {
+    return "bb[" + std::to_string(node) + "]." + what;
+  };
+  auto lq = [&](std::string name, double t, int delta) {
+    if (want_ledger) ledger_q.emplace_back(std::move(name), t, delta);
+  };
 
   // Phase 1: metadata. The MDS services creates FIFO by submit time; ties are
   // broken by (client, file) then request index, so the service order — and
@@ -253,12 +270,14 @@ std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests,
 
   // Re-try events for capacity-stalled requests: absorbs and prefetches share
   // the per-node waiting list, each re-entering through its own handler.
-  auto wake_waiting = [&](Node& nd, double when) {
-    for (std::size_t w : nd.waiting)
+  auto wake_waiting = [&](Node& nd, int node, double when) {
+    for (std::size_t w : nd.waiting) {
       pq.push({when,
                requests[w].op == kOpPrefetch ? static_cast<int>(kPrefetchStart)
                                              : static_cast<int>(kAbsorbTry),
                seq++, w});
+      lq(bb_res(node, "capacity_wait"), when, -1);
+    }
     nd.waiting.clear();
   };
 
@@ -275,6 +294,7 @@ std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests,
           nd.occupancy + req.bytes > cfg_.bb.capacity) {
         nd.waiting.push_back(idx);  // woken when a drain/read frees space
         aux[idx].capacity_stalled = true;
+        lq(bb_res(node, "capacity_wait"), ev.time, 1);
         continue;
       }
       nd.occupancy += req.bytes;  // reserve staging space for the extent
@@ -282,6 +302,7 @@ std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests,
         occ_deltas.emplace_back(ev.time, static_cast<std::int64_t>(req.bytes));
       if (nd.idle_prefetch_streams == 0) {  // all streams busy: queue FIFO
         nd.pending_prefetch.push_back(idx);
+        lq(bb_res(node, "prefetch"), ev.time, 1);
         continue;
       }
       --nd.idle_prefetch_streams;
@@ -321,7 +342,8 @@ std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests,
         if (st.resident_time > start) aux[idx].prefetch_gated = true;
         start = std::max(start, st.resident_time);
       }
-      Node& nd = nodes[static_cast<std::size_t>(node_of(req.client))];
+      const int node = node_of(req.client);
+      Node& nd = nodes[static_cast<std::size_t>(node)];
       start = std::max(start, nd.read_free);  // node read server is FIFO
       aux[idx].read_start = start;
       const double read_end =
@@ -339,7 +361,7 @@ std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests,
         nd.occupancy -= freed;
         if (want_series && freed > 0)
           occ_deltas.emplace_back(read_end, -static_cast<std::int64_t>(freed));
-        if (freed > 0) wake_waiting(nd, read_end);
+        if (freed > 0) wake_waiting(nd, node, read_end);
       }
       continue;
     }
@@ -347,7 +369,8 @@ std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests,
     if (ev.kind == kAbsorbTry) {
       const std::size_t idx = ev.id;
       const IoRequest& req = requests[idx];
-      Node& nd = nodes[static_cast<std::size_t>(node_of(req.client))];
+      const int node = node_of(req.client);
+      Node& nd = nodes[static_cast<std::size_t>(node)];
       if (nd.ingest_free > ev.time) {  // absorb server busy: come back later
         pq.push({nd.ingest_free, kAbsorbTry, seq++, idx});
         continue;
@@ -356,6 +379,7 @@ std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests,
           nd.occupancy + req.bytes > cfg_.bb.capacity) {
         nd.waiting.push_back(idx);  // woken when a drain frees space
         aux[idx].capacity_stalled = true;
+        lq(bb_res(node, "capacity_wait"), ev.time, 1);
         continue;
       }
       // Node-local absorb: burst-buffer bandwidth alone (no NIC crossing).
@@ -377,6 +401,7 @@ std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests,
       Node& nd = nodes[static_cast<std::size_t>(node)];
       if (nd.slots.empty()) {  // every drain stream busy: wait for a release
         nd.pending_drains.push_back(idx);
+        lq(bb_res(node, "drain"), ev.time, 1);
         continue;
       }
       nd.slots.pop();  // stream acquired; released at flight completion
@@ -411,6 +436,7 @@ std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests,
         std::max(fl.ready, ost_free[static_cast<std::size_t>(ost)]);
     const double end = start + service;
     ost_free[static_cast<std::size_t>(ost)] = end;
+    if (want_ledger) ost_busy[static_cast<std::size_t>(ost)] += service;
     fl.ready = end;
     fl.remaining -= chunk;
     aux[fl.index].service_sum += service;
@@ -434,6 +460,7 @@ std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests,
       if (!nd.pending_prefetch.empty()) {
         const std::size_t next = nd.pending_prefetch.front();
         nd.pending_prefetch.pop_front();
+        lq(bb_res(node_id, "prefetch"), end, -1);
         --nd.idle_prefetch_streams;
         Flight pf;
         pf.index = next;
@@ -479,9 +506,10 @@ std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests,
     if (!nd.pending_drains.empty()) {
       const std::size_t next = nd.pending_drains.front();
       nd.pending_drains.pop_front();
+      lq(bb_res(fl.node, "drain"), end, -1);
       pq.push({end, kDrainStart, seq++, next});
     }
-    wake_waiting(nd, end);
+    wake_waiting(nd, fl.node, end);
   }
 
   // A batch must drain completely: anything still parked here means the BB
@@ -506,7 +534,7 @@ std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests,
   if (probe.tracer != nullptr || probe.metrics != nullptr) {
     constexpr double kEps = 1e-12;
     constexpr double kSecQuantum = 1e-9;
-    obs::Tracer* tr = probe.tracer;
+    obs::SpanSink* tr = probe.tracer;
     obs::MetricsRegistry* mx = probe.metrics;
     auto observe = [&](const char* name, double v) {
       if (mx != nullptr) mx->observe(name, v, kSecQuantum);
@@ -692,6 +720,47 @@ std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests,
         mx->sample("bb.drain_streams_busy", t, static_cast<double>(busy));
       }
     }
+  }
+
+  // --------------------------------------------------- utilization ledger
+  // Per-resource busy seconds and queue depth, from the same post-loop aux
+  // data. Resources are declared with their pool capacity so the report's
+  // busy + idle = capacity × makespan conservation holds per resource.
+  if (want_ledger) {
+    obs::ResourceLedger& lg = *probe.ledger;
+    lg.declare("mds", 1);
+    lg.add_busy("mds", cfg_.mds_latency * static_cast<double>(requests.size()));
+    for (int o = 0; o < cfg_.n_ost; ++o) {
+      const std::string name = "ost[" + std::to_string(o) + "]";
+      lg.declare(name, 1);
+      lg.add_busy(name, ost_busy[static_cast<std::size_t>(o)]);
+    }
+    if (bb_on) {
+      for (int n = 0; n < cfg_.bb.nodes; ++n) {
+        lg.declare(bb_res(n, "ingest"), 1);
+        lg.declare(bb_res(n, "drain"), cfg_.bb.drain_concurrency);
+        lg.declare(bb_res(n, "prefetch"), prefetch_streams);
+        lg.declare(bb_res(n, "read"), 1);
+      }
+    }
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const IoRequest& req = requests[i];
+      const IoResult& res = results[i];
+      const Aux& a = aux[i];
+      if (req.bytes == 0) continue;
+      lg.extend_makespan(std::max(res.end, res.pfs_end));
+      if (res.tier != kTierBurstBuffer) continue;
+      const int node = node_of(req.client);
+      if (res.op == kOpWrite) {
+        lg.add_busy(bb_res(node, "ingest"), res.end - a.absorb_start);
+        lg.add_busy(bb_res(node, "drain"), res.pfs_end - a.flight_start);
+      } else if (res.op == kOpPrefetch) {
+        lg.add_busy(bb_res(node, "prefetch"), res.end - a.flight_start);
+      } else {  // BB-tier node-local read
+        lg.add_busy(bb_res(node, "read"), res.end - a.read_start);
+      }
+    }
+    for (const auto& [name, t, delta] : ledger_q) lg.queue_delta(name, t, delta);
   }
 
   return results;

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <set>
 #include <sstream>
 #include <string>
@@ -19,9 +21,12 @@
 #include "macsio/driver.hpp"
 #include "obs/critical_path.hpp"
 #include "obs/export.hpp"
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
+#include "obs/selfprof.hpp"
 #include "obs/shard.hpp"
 #include "obs/span.hpp"
+#include "obs/stream.hpp"
 #include "pfs/backend.hpp"
 #include "pfs/simfs.hpp"
 
@@ -291,44 +296,63 @@ TEST(Exporters, MetricsJsonAndCsv) {
 
 namespace {
 
-/// One observed 32-rank agg+bb+ebl dump+restart pipeline: driver spans plus
-/// a BB-tier SimFs replay of both request streams, all in one tracer.
+mc::Params pipeline_params() {
+  mc::Params params;
+  params.nprocs = 32;
+  params.num_dumps = 2;
+  params.part_size = 1500;
+  params.avg_num_parts = 1.25;
+  params.dataset_growth = 1.05;
+  params.meta_size = 16;
+  params.aggregators = 8;
+  params.stage_to_bb = true;
+  params.restart = true;
+  params.restart_from_bb = true;
+  params.codec = "ebl";
+  params.validate();
+  return params;
+}
+
+/// Runs the 32-rank agg+bb+ebl dump+restart pipeline against whatever sinks
+/// `probe` carries: driver spans plus a BB-tier SimFs replay of each request
+/// stream, replays adjacent to their driver phase (as macsio_proxy orders
+/// them) so the dump and restart timelines land in separate ledger epochs.
+void run_pipeline(amrio::exec::Engine& engine, const obs::Probe& probe) {
+  const mc::Params params = pipeline_params();
+  p::MemoryBackend backend(true);
+  p::SimFsConfig cfg;
+  cfg.bb.enabled = true;
+  cfg.bb.nodes = 2;
+  cfg.bb.ranks_per_node = 16;
+  cfg.bb.capacity = 1 << 20;
+  p::SimFs fs(cfg);
+
+  const auto dump = mc::run_macsio(engine, params, backend, nullptr, probe);
+  (void)fs.run(dump.requests, probe);
+  if (probe.ledger != nullptr) probe.ledger->begin_epoch();
+  const auto restart = mc::run_restart(engine, params, backend, nullptr, probe);
+  (void)fs.run(restart.requests, probe);
+}
+
+/// One observed 32-rank agg+bb+ebl dump+restart pipeline over the serial
+/// engine, buffered into a tracer.
 struct PipelineObs {
   obs::Tracer tracer;
   obs::MetricsRegistry metrics;
 
   PipelineObs() {
-    mc::Params params;
-    params.nprocs = 32;
-    params.num_dumps = 2;
-    params.part_size = 1500;
-    params.avg_num_parts = 1.25;
-    params.dataset_growth = 1.05;
-    params.meta_size = 16;
-    params.aggregators = 8;
-    params.stage_to_bb = true;
-    params.restart = true;
-    params.restart_from_bb = true;
-    params.codec = "ebl";
-    params.validate();
-
-    const obs::Probe probe{&tracer, &metrics};
-    p::MemoryBackend backend(true);
-    amrio::exec::SerialEngine engine(params.nprocs);
-    const auto dump = mc::run_macsio(engine, params, backend, nullptr, probe);
-    const auto restart =
-        mc::run_restart(engine, params, backend, nullptr, probe);
-
-    p::SimFsConfig cfg;
-    cfg.bb.enabled = true;
-    cfg.bb.nodes = 2;
-    cfg.bb.ranks_per_node = 16;
-    cfg.bb.capacity = 1 << 20;
-    p::SimFs fs(cfg);
-    (void)fs.run(dump.requests, probe);
-    (void)fs.run(restart.requests, probe);
+    amrio::exec::SerialEngine engine(32);
+    run_pipeline(engine, obs::Probe{&tracer, &metrics});
   }
 };
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
 
 }  // namespace
 
@@ -404,4 +428,317 @@ TEST(SpanInvariants, PipelineMetricsAreCoherent) {
   ASSERT_FALSE(occ.empty());
   EXPECT_DOUBLE_EQ(occ.back().second, 0.0);
   EXPECT_GT(snap.gauges.at("simfs.bb.peak_occupancy_bytes"), 0.0);
+}
+
+// ------------------------------------------------------------- sampling
+
+TEST(TraceSample, SampleSetIsPureEvenlySpacedAndClamped) {
+  const auto s1 = obs::TraceSample::sample_set(131072, 64);
+  const auto s2 = obs::TraceSample::sample_set(131072, 64);
+  EXPECT_EQ(s1, s2);  // pure function of (nranks, n)
+  ASSERT_EQ(s1.size(), 64u);
+  EXPECT_EQ(s1.front(), 0);
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1[i],
+              static_cast<int>(static_cast<std::int64_t>(i) * 131072 / 64));
+    if (i > 0) {
+      EXPECT_GT(s1[i], s1[i - 1]);
+    }
+  }
+  EXPECT_LT(s1.back(), 131072);
+
+  // n >= nranks degenerates to "every rank"
+  const auto all = obs::TraceSample::sample_set(8, 100);
+  ASSERT_EQ(all.size(), 8u);
+  for (int r = 0; r < 8; ++r) EXPECT_EQ(all[static_cast<std::size_t>(r)], r);
+  EXPECT_TRUE(obs::TraceSample::sample_set(0, 4).empty());
+  EXPECT_TRUE(obs::TraceSample::sample_set(16, 0).empty());
+}
+
+TEST(TraceSample, KeepsDriverSampledAndExtraRanks) {
+  obs::TraceSample off;  // default: disabled, keeps everything
+  EXPECT_FALSE(off.enabled());
+  EXPECT_TRUE(off.keep(1234));
+
+  obs::TraceSample s;
+  s.nranks = 100;
+  s.sample = 4;  // sample set {0, 25, 50, 75}
+  s.keep_extra = {37};
+  s.seal();
+  EXPECT_TRUE(s.enabled());
+  EXPECT_TRUE(s.keep(-1));  // driver track is always kept
+  EXPECT_TRUE(s.keep(0));
+  EXPECT_TRUE(s.keep(75));
+  EXPECT_TRUE(s.keep(37));  // caller-pinned (e.g. an aggregator)
+  EXPECT_FALSE(s.keep(1));
+  EXPECT_FALSE(s.keep(99));
+}
+
+// ------------------------------------------------------ streaming export
+
+TEST(TraceStream, UnsampledStreamMatchesBufferedExportByteForByte) {
+  // Buffered reference: the whole pipeline in memory, then one render.
+  obs::Tracer tracer;
+  obs::MetricsRegistry m1;
+  {
+    amrio::exec::SerialEngine engine(32);
+    run_pipeline(engine, obs::Probe{&tracer, &m1});
+  }
+  std::ostringstream expect;
+  obs::write_chrome_trace(expect, tracer.spans(), tracer.edges());
+
+  // Streamed: tiny shard buffers force many spill runs, so the k-way merge
+  // path (not just the in-memory remainders) produces the bytes.
+  const std::string path = testing::TempDir() + "obs_stream_unsampled.json";
+  obs::TraceStream::Options opt;
+  opt.path = path;
+  opt.shard_capacity = 16;
+  obs::TraceStream stream(opt);
+  obs::MetricsRegistry m2;
+  {
+    obs::Probe probe;
+    probe.tracer = &stream;
+    probe.metrics = &m2;
+    amrio::exec::SerialEngine engine(32);
+    run_pipeline(engine, probe);
+  }
+  ASSERT_GT(stream.spans_recorded(), 100u);
+  EXPECT_EQ(stream.spans_recorded(), stream.spans_kept());  // no sampling
+  stream.finish();
+  EXPECT_EQ(read_file(path), expect.str());
+  std::remove(path.c_str());
+  EXPECT_FALSE(std::ifstream(path + ".spill").is_open())
+      << "spill file survived finish()";
+}
+
+TEST(TraceStream, SampledStreamIsDeterministicAcrossEnginesAndRuns) {
+  auto render = [](amrio::exec::Engine& engine, const std::string& path) {
+    obs::TraceStream::Options opt;
+    opt.path = path;
+    opt.sample.nranks = 32;
+    opt.sample.sample = 4;
+    opt.sample.keep_extra = {0, 4, 8, 12, 16, 20, 24, 28};  // aggregators
+    opt.shard_capacity = 32;
+    obs::TraceStream stream(opt);
+    obs::MetricsRegistry metrics;
+    obs::Probe probe;
+    probe.tracer = &stream;
+    probe.metrics = &metrics;
+    run_pipeline(engine, probe);
+    EXPECT_LT(stream.spans_kept(), stream.spans_recorded());
+    stream.finish();
+    const std::string bytes = read_file(path);
+    std::remove(path.c_str());
+    return bytes;
+  };
+  const std::string base = testing::TempDir();
+  amrio::exec::SerialEngine s1(32), s2(32);
+  amrio::exec::EventEngine ev(32);
+  const std::string a = render(s1, base + "obs_samp_a.json");
+  const std::string b = render(s2, base + "obs_samp_b.json");
+  const std::string c = render(ev, base + "obs_samp_c.json");
+  EXPECT_EQ(a, b);  // run-to-run
+  EXPECT_EQ(a, c);  // serial vs discrete-event engine
+  // Dropped ranks folded into per-stage envelopes on the synthetic track.
+  EXPECT_NE(a.find("\"aggregated\""), std::string::npos);
+  EXPECT_NE(a.find("spans,"), std::string::npos);  // envelope detail text
+}
+
+// ------------------------------------------------------ resource ledger
+
+TEST(ResourceLedger, EpochsConcatenateIndependentTimelines) {
+  obs::ResourceLedger lg;
+  lg.declare("r", 1);
+  lg.add_busy("r", 1.0);
+  lg.extend_makespan(1.0);
+  lg.begin_epoch();  // second timeline restarts at t = 0
+  lg.add_busy("r", 0.5);
+  lg.queue_delta("r", 0.2, +1);  // epoch-relative; lands at 1.2 absolute
+  lg.extend_makespan(0.5);
+
+  const obs::UtilizationReport rep = lg.report();
+  EXPECT_DOUBLE_EQ(rep.makespan, 1.5);  // sum of epoch maxima, not max
+  ASSERT_EQ(rep.resources.size(), 1u);
+  const obs::ResourceUtilization& u = rep.resources[0];
+  EXPECT_DOUBLE_EQ(u.busy_s, 1.5);
+  EXPECT_DOUBLE_EQ(u.idle_s, 0.0);
+  EXPECT_DOUBLE_EQ(u.busy_frac, 1.0);
+  EXPECT_EQ(u.queue_peak, 1);
+  EXPECT_NEAR(u.queue_avg, 0.3 / 1.5, 1e-12);  // depth 1 over [1.2, 1.5]
+}
+
+TEST(ResourceLedger, PipelineConservesBusyPlusIdlePerResource) {
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  obs::ResourceLedger ledger;
+  obs::Probe probe;
+  probe.tracer = &tracer;
+  probe.metrics = &metrics;
+  probe.ledger = &ledger;
+  amrio::exec::SerialEngine engine(32);
+  run_pipeline(engine, probe);
+
+  const obs::UtilizationReport rep = ledger.report();
+  ASSERT_GT(rep.makespan, 0.0);
+  ASSERT_FALSE(rep.resources.empty());
+  std::set<std::string> names;
+  for (const obs::ResourceUtilization& u : rep.resources) {
+    names.insert(u.name);
+    const double pool = u.capacity * rep.makespan;
+    // the conservation law: busy + idle = capacity * makespan, exactly
+    EXPECT_NEAR(u.busy_s + u.idle_s, pool, 1e-9 * std::max(1.0, pool))
+        << u.name;
+    EXPECT_GE(u.busy_s, 0.0) << u.name;
+    EXPECT_GE(u.idle_s, -1e-9) << u.name << " over-committed its pool";
+    EXPECT_GE(u.busy_frac, 0.0) << u.name;
+    EXPECT_LE(u.busy_frac, 1.0 + 1e-9) << u.name;
+    EXPECT_GE(u.queue_peak, 0) << u.name;
+  }
+  // every modeled pool reported: MDS, OSTs, BB streams, link, codec CPUs
+  for (const char* expect :
+       {"mds", "ost[0]", "bb[0].ingest", "bb[0].drain", "bb[0].prefetch",
+        "bb[0].read", "bb[1].drain", "agg_link", "codec_cpu"})
+    EXPECT_TRUE(names.count(expect)) << "missing resource " << expect;
+  EXPECT_FALSE(rep.top_summary().empty());
+}
+
+TEST(ResourceLedger, JsonAndTableRenderTheReport) {
+  obs::ResourceLedger lg;
+  lg.declare("ost[0]", 1);
+  lg.add_busy("ost[0]", 0.25);
+  lg.extend_makespan(1.0);
+  const obs::UtilizationReport rep = lg.report();
+
+  std::ostringstream os;
+  obs::write_utilization_json(os, rep);
+  const std::string json = os.str();
+  for (const char* key : {"\"makespan\"", "\"resources\"", "\"name\"",
+                          "\"capacity\"", "\"busy_s\"", "\"idle_s\"",
+                          "\"busy_frac\"", "\"queue_peak\"", "\"queue_avg\""})
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+
+  const std::string table = obs::utilization_table(rep);
+  EXPECT_NE(table.find("resource"), std::string::npos);
+  EXPECT_NE(table.find("ost[0]"), std::string::npos);
+  EXPECT_NE(table.find("25.0%"), std::string::npos);
+  EXPECT_EQ(rep.top_summary(), "ost[0] 25.0% busy");
+}
+
+// ------------------------------------------------------- CSV edge cases
+
+TEST(Exporters, CsvQuotesNamesWithCommasAndQuotes) {
+  obs::MetricsRegistry m;
+  m.add("bytes,total", 7);       // comma would split the row
+  m.add("say \"hi\"", 1);        // embedded quotes must double
+  m.gauge_set("plain", 2.0);
+  std::ostringstream os;
+  obs::write_metrics_csv(os, m.snapshot());
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("counter,\"bytes,total\",,7"), std::string::npos);
+  EXPECT_NE(csv.find("counter,\"say \"\"hi\"\"\",,1"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,plain,,2"), std::string::npos);
+}
+
+// ------------------------------------------------------- self-profiling
+
+TEST(SelfProfiler, CountersGaugesAndPhasesAccumulate) {
+  obs::SelfProfiler prof;
+  prof.count("runs");
+  prof.count("runs", 2);
+  prof.gauge_max("peak", 3.0);
+  prof.gauge_max("peak", 2.0);
+  prof.gauge_set("last", 1.0);
+  prof.gauge_set("last", 4.0);
+  prof.phase_add("dump", 0.5);
+  prof.phase_add("dump", 0.25);
+  { obs::SelfProfiler::ScopedPhase ph(&prof, "scoped"); }
+  { obs::SelfProfiler::ScopedPhase ph(nullptr, "noop"); }  // null-safe
+
+  const obs::SelfProfSnapshot snap = prof.snapshot();
+  EXPECT_EQ(snap.counters.at("runs"), 3u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("peak"), 3.0);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("last"), 4.0);
+  EXPECT_DOUBLE_EQ(snap.phases.at("dump").wall_s, 0.75);
+  EXPECT_EQ(snap.phases.at("dump").count, 2u);
+  EXPECT_EQ(snap.phases.at("scoped").count, 1u);
+  EXPECT_GE(snap.phases.at("scoped").wall_s, 0.0);
+  EXPECT_EQ(snap.phases.count("noop"), 0u);
+
+  std::ostringstream os;
+  obs::write_selfprof_json(os, snap);
+  const std::string json = os.str();
+  for (const char* key :
+       {"\"counters\"", "\"gauges\"", "\"phases\"", "\"wall_s\"", "\"count\""})
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+}
+
+TEST(SelfProfiler, EventEnginePublishesSchedulerCounters) {
+  obs::SelfProfiler prof;
+  amrio::exec::EventEngine engine(64);
+  engine.set_profiler(&prof);
+  engine.run([](amrio::exec::RankCtx& ctx) {
+    for (int i = 0; i < 3; ++i) ctx.barrier();
+  });
+  const obs::SelfProfSnapshot snap = prof.snapshot();
+  EXPECT_EQ(snap.counters.at("engine.event.runs"), 1u);
+  // every barrier resumption is a context switch; 64 ranks x 3 barriers
+  EXPECT_GT(snap.counters.at("engine.event.context_switches"), 100u);
+  EXPECT_GE(snap.gauges.at("engine.event.ready_queue_peak"), 1.0);
+  EXPECT_EQ(snap.phases.at("engine.event.run").count, 1u);
+}
+
+TEST(SelfProfiler, SerialEnginePublishesWallPhase) {
+  obs::SelfProfiler prof;
+  amrio::exec::SerialEngine engine(4);
+  engine.set_profiler(&prof);
+  engine.run([](amrio::exec::RankCtx& ctx) { ctx.barrier(); });
+  const obs::SelfProfSnapshot snap = prof.snapshot();
+  EXPECT_EQ(snap.counters.at("engine.serial.runs"), 1u);
+  EXPECT_EQ(snap.phases.at("engine.serial.run").count, 1u);
+}
+
+// -------------------------------------------- machine-scale export smoke
+
+TEST(TraceStreamScale, EventEngine131kSampledExportStaysBounded) {
+  // The tentpole scenario: a 131,072-rank event-engine dump streamed through
+  // bounded shard buffers with 64-rank sampling. Peak resident spans must
+  // respect the nsinks x shard_capacity bound and the output file must stay
+  // small enough to load in Perfetto, no matter how many spans the run emits.
+  constexpr int kRanks = 131072;
+  mc::Params params;
+  params.nprocs = kRanks;
+  params.num_dumps = 1;
+  params.part_size = 1000;
+  params.avg_num_parts = 1.0;
+  params.validate();
+
+  const std::string path = testing::TempDir() + "obs_131k_sampled.json";
+  obs::TraceStream::Options opt;
+  opt.path = path;
+  opt.sample.nranks = kRanks;
+  opt.sample.sample = 64;
+  opt.shard_capacity = 512;
+  obs::TraceStream stream(opt);
+  obs::Probe probe;
+  probe.tracer = &stream;
+
+  p::MemoryBackend backend(false);
+  amrio::exec::EventEngine engine(kRanks);
+  const auto dump = mc::run_macsio(engine, params, backend, nullptr, probe);
+  p::SimFsConfig cfg;
+  p::SimFs fs(cfg);
+  (void)fs.run(dump.requests, probe);  // one pfs_write span per rank
+  stream.finish();
+
+  EXPECT_GT(stream.spans_recorded(), 100000u);  // the run really was huge
+  EXPECT_LT(stream.spans_kept(), 10000u);       // sampling really dropped
+  EXPECT_LE(stream.peak_buffered_spans(), opt.shard_capacity * 64)
+      << "per-shard buffers exceeded their bound";
+
+  const std::string bytes = read_file(path);
+  std::remove(path.c_str());
+  EXPECT_LT(bytes.size(), 4u << 20) << "sampled trace not bounded";
+  EXPECT_EQ(bytes.rfind("{\"displayTimeUnit\"", 0), 0u);
+  EXPECT_NE(bytes.find("\"aggregated\""), std::string::npos);
+  EXPECT_EQ(bytes.back(), '\n');
 }
