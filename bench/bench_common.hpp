@@ -14,6 +14,7 @@
 #include "obs/metrics.hpp"
 #include "obs/probe.hpp"
 #include "obs/span.hpp"
+#include "obs/whatif.hpp"
 #include "pfs/simfs.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -42,6 +43,12 @@ struct BenchContext {
   /// --metrics_out: metrics snapshot accumulated across every row (".csv"
   /// suffix selects flat CSV, anything else pretty JSON).
   std::string metrics_out;
+  /// --explain: print the predictive bottleneck report (per-resource
+  /// what-if makespans at 1.5x/2x relief and shadow prices) for the last
+  /// study row, mirroring the --trace_out last-row default.
+  bool explain = false;
+  /// --explain_out: also write that report as JSON (implies --explain).
+  std::string explain_out;
   /// Shared registry behind probe(); counters accumulate across rows.
   std::shared_ptr<obs::MetricsRegistry> metrics =
       std::make_shared<obs::MetricsRegistry>();
@@ -122,6 +129,13 @@ inline BenchContext parse_bench_args(int argc, char** argv,
                  std::string("-1"));
   cli.add_option("metrics_out", "metrics snapshot (JSON, or CSV by suffix)", 1,
                  std::string(""));
+  cli.add_flag("explain",
+               "print the predictive bottleneck report (what-if makespans "
+               "at 1.5x/2x relief, shadow prices) for the last study row");
+  cli.add_option("explain_out",
+                 "write the last row's explain report as JSON (implies "
+                 "--explain)",
+                 1, std::string(""));
   cli.add_flag("help", "show usage");
   cli.parse(argc, argv);
   if (cli.flag("help")) {
@@ -142,6 +156,8 @@ inline BenchContext parse_bench_args(int argc, char** argv,
   ctx.trace_out = cli.get("trace_out");
   ctx.trace_row = cli.get_int_or("trace_row", -1);
   ctx.metrics_out = cli.get("metrics_out");
+  ctx.explain_out = cli.get("explain_out");
+  ctx.explain = cli.flag("explain") || !ctx.explain_out.empty();
   util::make_dirs(ctx.out_dir);
   return ctx;
 }
@@ -164,6 +180,58 @@ inline void export_obs(const BenchContext& ctx, const obs::Tracer& tracer) {
 
 inline std::string csv_path(const BenchContext& ctx, const std::string& name) {
   return util::path_join(ctx.out_dir, name);
+}
+
+/// The relief knobs matching one SimFs configuration — the rates the
+/// standard what-if scenarios need to compute effective service scales.
+inline obs::ReliefKnobs relief_knobs(const pfs::SimFsConfig& cfg) {
+  obs::ReliefKnobs knobs;
+  knobs.ost_bandwidth = cfg.ost_bandwidth;
+  knobs.client_bandwidth = cfg.client_bandwidth;
+  knobs.drain_bandwidth = cfg.bb.drain_bandwidth;
+  return knobs;
+}
+
+/// The `predicted_2x_relief` study column: the best single-resource 2x
+/// what-if over one row's spans, as "resource:seconds" (e.g. "ost:1.234").
+/// "none" when no relief moves the makespan (untagged or empty trace).
+inline std::string predicted_2x_relief(const obs::Tracer& row_tracer,
+                                       const pfs::SimFsConfig& cfg) {
+  const auto spans = row_tracer.spans();
+  const auto edges = row_tracer.edges();
+  std::string best = "none";
+  double best_makespan = 0.0;
+  double baseline = 0.0;
+  for (const obs::Scenario& sc :
+       obs::standard_scenarios(2.0, relief_knobs(cfg))) {
+    const obs::WhatIfResult r = obs::what_if(spans, edges, sc);
+    baseline = r.baseline_makespan;
+    if (best == "none" || r.predicted_makespan < best_makespan) {
+      best_makespan = r.predicted_makespan;
+      best = sc.resource;
+    }
+  }
+  if (best == "none" || best_makespan >= baseline - 1e-12) return "none";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s:%.6f", best.c_str(), best_makespan);
+  return buf;
+}
+
+/// --explain / --explain_out for one study row (benches pass the last row,
+/// mirroring the --trace_out default). Benches run no utilization ledger,
+/// so the report's utilization column stays zero; the what-if predictions
+/// and shadow prices are the payload.
+inline void explain_row(const BenchContext& ctx, const obs::Tracer& row_tracer,
+                        const pfs::SimFsConfig& cfg) {
+  if (!ctx.explain) return;
+  const obs::ExplainReport rep =
+      obs::explain(row_tracer.spans(), row_tracer.edges(),
+                   obs::UtilizationReport{}, relief_knobs(cfg));
+  std::printf("%s", obs::explain_table(rep).c_str());
+  if (!ctx.explain_out.empty()) {
+    obs::export_explain(ctx.explain_out, rep);
+    std::printf("explain: %s\n", ctx.explain_out.c_str());
+  }
 }
 
 /// Reference PFS + burst-buffer model shared by the staging and codec

@@ -73,7 +73,8 @@ int main(int argc, char** argv) {
   csv.header({"ranks", "mode", "codec", "error_bound", "raw_bytes",
               "encoded_bytes", "ratio", "codec_encode_s", "perceived_makespan",
               "sustained_makespan", "perceived_bw", "sustained_bw",
-              "critical_stage", "critical_frac", "binding_resource"});
+              "critical_stage", "critical_frac", "binding_resource",
+              "predicted_2x_relief"});
 
   bool ok = true;
   bool ebl_wins_somewhere = false;
@@ -151,7 +152,10 @@ int main(int argc, char** argv) {
             .field(report.sustained_bandwidth)
             .field(cp.critical_stage)
             .field(cp.critical_frac)
-            .field(cp.binding_resource);
+            .field(cp.binding_resource)
+            .field(bench::predicted_2x_relief(
+                row_tracer,
+                bench::study_fs_config(ranks, mode.burst_buffer)));
         csv.endrow();
         ctx.row_done(row_tracer);
       }
@@ -186,5 +190,7 @@ int main(int argc, char** argv) {
               ok ? "OK" : "MISMATCH");
   std::printf("csv: %s\n", csv.path().c_str());
   bench::export_obs(ctx, row_tracer);
+  bench::explain_row(ctx, row_tracer,
+                     bench::study_fs_config(rank_counts.back(), true));
   return ok ? 0 : 1;
 }

@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
   csv.header({"ranks", "mode", "codec", "error_bound", "raw_bytes",
               "encoded_bytes", "decode_gate_s", "scatter_s", "read_makespan",
               "perceived_read_bw", "critical_stage", "critical_frac",
-              "binding_resource"});
+              "binding_resource", "predicted_2x_relief"});
 
   bool ok = true;
   obs::Tracer row_tracer;  // reset per row: one critical path per config
@@ -149,7 +149,8 @@ int main(int argc, char** argv) {
             .field(perceived_bw)
             .field(cp.critical_stage)
             .field(cp.critical_frac)
-            .field(cp.binding_resource);
+            .field(cp.binding_resource)
+            .field(bench::predicted_2x_relief(row_tracer, cfg));
         csv.endrow();
         ctx.row_done(row_tracer);
 
@@ -190,5 +191,7 @@ int main(int argc, char** argv) {
       ok ? "OK" : "MISMATCH");
   std::printf("csv: %s\n", csv.path().c_str());
   bench::export_obs(ctx, row_tracer);
+  bench::explain_row(ctx, row_tracer,
+                     bench::study_fs_config(rank_counts.back(), true));
   return ok ? 0 : 1;
 }

@@ -86,7 +86,8 @@ int main(int argc, char** argv) {
   csv.header({"ranks", "config", "placement", "agg_nodes", "data_files",
               "all_files", "perceived_makespan", "sustained_makespan",
               "perceived_bw", "sustained_bw", "drain_tail", "data_bytes",
-              "critical_stage", "critical_frac", "binding_resource"});
+              "critical_stage", "critical_frac", "binding_resource",
+              "predicted_2x_relief"});
 
   const Config configs[] = {{"none", false, false},
                             {"agg", true, false},
@@ -223,7 +224,10 @@ int main(int argc, char** argv) {
             .field(static_cast<std::int64_t>(data_bytes))
             .field(cp.critical_stage)
             .field(cp.critical_frac)
-            .field(cp.binding_resource);
+            .field(cp.binding_resource)
+            .field(bench::predicted_2x_relief(
+                row_tracer, bench::study_fs_config(ranks,
+                                                   config.burst_buffer)));
         csv.endrow();
         ctx.row_done(row_tracer);
       }
@@ -246,5 +250,7 @@ int main(int argc, char** argv) {
       ok ? "OK" : "MISMATCH");
   std::printf("csv: %s\n", csv.path().c_str());
   bench::export_obs(ctx, row_tracer);
+  bench::explain_row(ctx, row_tracer,
+                     bench::study_fs_config(rank_counts.back(), true));
   return ok ? 0 : 1;
 }

@@ -15,7 +15,9 @@
 /// identical across engines), --trace_sample N (streaming bounded-memory
 /// export keeping N representative ranks — the machine-scale path),
 /// --metrics_out, --critical_path, --util_out (per-resource utilization
-/// ledger), --prof_out (host-side self-profiling of the engine itself).
+/// ledger), --prof_out (host-side self-profiling of the engine itself),
+/// --explain / --explain_out (predictive bottleneck report: span-DAG slack,
+/// per-resource what-if makespans at 1.5x/2x relief, shadow prices).
 
 #include <algorithm>
 #include <cstdio>
@@ -31,6 +33,7 @@
 #include "obs/selfprof.hpp"
 #include "obs/span.hpp"
 #include "obs/stream.hpp"
+#include "obs/whatif.hpp"
 #include "pfs/timeline.hpp"
 #include "staging/aggregator.hpp"
 #include "util/format.hpp"
@@ -46,8 +49,11 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   std::string util_out;
   std::string prof_out;
+  std::string explain_out;
   int trace_sample = 0;
   bool want_critical = false;
+  bool want_explain = false;
+  bool no_approx_cp = false;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--spmd") {  // legacy alias for --engine spmd
@@ -79,6 +85,13 @@ int main(int argc, char** argv) {
       prof_out = argv[++i];
     } else if (a == "--critical_path") {
       want_critical = true;
+    } else if (a == "--no_approx_critical_path") {
+      no_approx_cp = true;
+    } else if (a == "--explain") {
+      want_explain = true;
+    } else if (a == "--explain_out" && i + 1 < argc) {
+      explain_out = argv[++i];
+      want_explain = true;
     } else if (a == "--help") {
       std::printf(
           "macsio_proxy: MACSio-compatible proxy I/O application\n"
@@ -103,9 +116,18 @@ int main(int argc, char** argv) {
           "          the machine-scale path for --engine event),\n"
           "          --metrics_out FILE (metrics snapshot; .csv or JSON),\n"
           "          --critical_path (print the critical-path summary\n"
-          "          without writing any trace file),\n"
+          "          without writing any trace file; under --trace_sample\n"
+          "          it falls back to a per-stage envelope approximation),\n"
+          "          --no_approx_critical_path (refuse that approximation:\n"
+          "          exit non-zero instead of printing an approximate\n"
+          "          critical path under --trace_sample),\n"
           "          --util_out FILE (per-resource utilization ledger as\n"
           "          JSON; also prints the bottleneck table),\n"
+          "          --explain (predictive bottleneck report: per resource\n"
+          "          group its utilization, slack-weighted exposure, the\n"
+          "          what-if makespan at 1.5x/2x capacity relief, and the\n"
+          "          shadow price — seconds of makespan per +1x capacity),\n"
+          "          --explain_out FILE (write that report as JSON),\n"
           "          --prof_out FILE (host wall-clock self-profile of the\n"
           "          engine: events/sec, context switches, ready-queue\n"
           "          high-water, arena bytes; NOT engine-invariant).\n"
@@ -140,7 +162,7 @@ int main(int argc, char** argv) {
   iostats::TraceRecorder trace;
   const bool sampling = trace_sample > 0;
   const bool observe = !trace_out.empty() || !metrics_out.empty() ||
-                       !util_out.empty() || want_critical;
+                       !util_out.empty() || want_critical || want_explain;
   obs::Tracer tracer;
   obs::MetricsRegistry metrics;
   obs::ResourceLedger ledger;
@@ -164,7 +186,8 @@ int main(int argc, char** argv) {
     probe.tracer = sampling ? static_cast<obs::SpanSink*>(stream.get())
                             : static_cast<obs::SpanSink*>(&tracer);
     probe.metrics = &metrics;
-    if (!util_out.empty()) probe.ledger = &ledger;
+    // --explain needs the utilization ledger for its per-group rows.
+    if (!util_out.empty() || want_explain) probe.ledger = &ledger;
   }
   obs::SelfProfiler prof;
   obs::SelfProfiler* prof_ptr = prof_out.empty() ? nullptr : &prof;
@@ -254,11 +277,25 @@ int main(int argc, char** argv) {
   }
 
   if (observe) {
+    // The streaming sampled path never holds every span, but it aggregates
+    // all of them (kept or dropped) into per-stage envelope spans — enough
+    // for an approximate critical path and explain report. Snapshot them
+    // before finish() closes the stream.
+    std::vector<obs::Span> envelopes;
+    if (sampling) envelopes = stream->envelope_spans();
     if (sampling) {
-      // Critical-path attribution needs every span in memory; the streaming
-      // sampled path trades that for bounded memory.
-      std::printf("critical path: unavailable under --trace_sample "
-                  "(use --critical_path without sampling)\n");
+      if (no_approx_cp) {
+        std::fprintf(stderr,
+                     "macsio_proxy: critical path under --trace_sample uses "
+                     "the per-stage envelope approximation; drop "
+                     "--no_approx_critical_path to accept it, or drop "
+                     "--trace_sample for the exact span-level path\n");
+        return 3;
+      }
+      const obs::CriticalPathReport cp = obs::critical_path(envelopes, {});
+      std::printf("critical path (approximate: per-stage envelopes over all "
+                  "%d ranks) over %.4gs of virtual time: %s\n",
+                  params.nprocs, cp.makespan, obs::summarize(cp).c_str());
     } else {
       const obs::CriticalPathReport cp =
           obs::critical_path(tracer.spans(), tracer.edges());
@@ -289,6 +326,26 @@ int main(int argc, char** argv) {
       std::printf("bottlenecks: %s\n", rep.top_summary().c_str());
       obs::export_utilization(util_out, rep);
       std::printf("utilization: %s\n", util_out.c_str());
+    }
+    if (want_explain) {
+      // Relief scenarios are computed against the same rates the replay
+      // used, so "2x ost" in the report means doubling obs_cfg's knob.
+      obs::ReliefKnobs knobs;
+      knobs.ost_bandwidth = obs_cfg.ost_bandwidth;
+      knobs.client_bandwidth = obs_cfg.client_bandwidth;
+      knobs.drain_bandwidth = obs_cfg.bb.drain_bandwidth;
+      const obs::ExplainReport rep =
+          sampling ? obs::explain(envelopes, {}, ledger.report(), knobs)
+                   : obs::explain(tracer.spans(), tracer.edges(),
+                                  ledger.report(), knobs);
+      if (sampling)
+        std::printf("explain (approximate: per-stage envelopes — span-level "
+                    "slack and service tags need an unsampled trace):\n");
+      std::printf("%s", obs::explain_table(rep).c_str());
+      if (!explain_out.empty()) {
+        obs::export_explain(explain_out, rep);
+        std::printf("explain: %s\n", explain_out.c_str());
+      }
     }
   }
   if (prof_ptr != nullptr) {

@@ -5,6 +5,7 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/whatif.hpp"
 #include "util/assert.hpp"
 
 namespace amrio::core {
@@ -38,7 +39,8 @@ ValidationResult calibrate_and_validate(const RunRecord& run,
   params.validate();
   pfs::MemoryBackend backend(/*store_contents=*/false);
   const auto engine = exec::make_engine(opts.engine, params.nprocs);
-  const bool observe = !opts.trace_out.empty() || !opts.metrics_out.empty();
+  const bool observe = !opts.trace_out.empty() || !opts.metrics_out.empty() ||
+                       !opts.explain_out.empty();
   obs::Tracer tracer;
   obs::MetricsRegistry metrics;
   const obs::Probe probe =
@@ -53,6 +55,14 @@ ValidationResult calibrate_and_validate(const RunRecord& run,
   if (!opts.trace_out.empty()) obs::export_trace(opts.trace_out, tracer);
   if (!opts.metrics_out.empty())
     obs::export_metrics(opts.metrics_out, metrics.snapshot());
+  if (!opts.explain_out.empty()) {
+    // Driver-only replay: no SimFs rates to bound the scenarios, so the
+    // effective scales fall back to plain 1/factor (see ReliefKnobs).
+    obs::export_explain(opts.explain_out,
+                        obs::explain(tracer.spans(), tracer.edges(),
+                                     obs::UtilizationReport{},
+                                     obs::ReliefKnobs{}));
+  }
 
   AMRIO_EXPECTS(result.proxy_per_step.size() == result.sim_per_step.size());
   double acc = 0.0;

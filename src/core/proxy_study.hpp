@@ -38,6 +38,12 @@ struct StudyOptions {
   /// When non-empty, write the metrics snapshot here (".csv" suffix selects
   /// flat CSV, anything else pretty JSON).
   std::string metrics_out;
+  /// When non-empty, write the predictive explain report (per-resource
+  /// what-if makespans at 1.5x/2x relief, shadow prices) of the proxy
+  /// replay's span DAG here as JSON. The study replays the driver only (no
+  /// PFS model), so the codec CPU and aggregation link are the resources
+  /// with leverage; rates default to plain 1/factor scaling.
+  std::string explain_out;
 };
 
 struct ValidationResult {

@@ -399,9 +399,17 @@ DumpStats run_macsio_rank(exec::RankCtx& ctx, const Params& params,
         for (int r = 0; r < params.nprocs; ++r) {
           const double cpu = encs[static_cast<std::size_t>(r)].cpu_seconds;
           if (cpu <= 0.0) continue;
-          encode_span[static_cast<std::size_t>(r)] = probe.tracer->record(
-              obs::Span{0, phase, r, "encode", label, submit_time,
-                        submit_time + cpu});
+          obs::Span es;
+          es.parent = phase;
+          es.rank = r;
+          es.stage = "encode";
+          es.detail = label;
+          es.start = submit_time;
+          es.end = submit_time + cpu;
+          es.service = cpu;
+          es.res = "codec_cpu";
+          encode_span[static_cast<std::size_t>(r)] =
+              probe.tracer->record(std::move(es));
         }
         if (aggregated) {
           for (int g = 0; g < topo->ngroups(); ++g) {
@@ -421,9 +429,21 @@ DumpStats run_macsio_rank(exec::RankCtx& ctx, const Params& params,
             const double ready =
                 ship_start + staging::ship_cost(agg_cfg, shipped, nmessages);
             if (ready <= ship_start) continue;
-            const std::uint64_t ship = probe.tracer->record(
-                obs::Span{0, phase, agg, "ship", label, ship_start, ready, 0.0,
-                          "agg_link"});
+            obs::Span ss;
+            ss.parent = phase;
+            ss.rank = agg;
+            ss.stage = "ship";
+            ss.detail = label;
+            ss.start = ship_start;
+            ss.end = ready;
+            ss.resource = "agg_link";
+            // The bandwidth part only: the per-message latency term does not
+            // shrink when the link gets faster, so the what-if engine must
+            // not scale it.
+            ss.service =
+                static_cast<double>(shipped) / agg_cfg.link_bandwidth;
+            ss.res = "agg_link";
+            const std::uint64_t ship = probe.tracer->record(std::move(ss));
             for (int r : topo->members_of(g)) {
               const std::uint64_t from =
                   encode_span[static_cast<std::size_t>(r)];
@@ -686,10 +706,25 @@ RestartStats run_restart_rank(exec::RankCtx& ctx, const Params& params,
         scatter_span.assign(static_cast<std::size_t>(topo->ngroups()), 0);
         for (int g = 0; g < topo->ngroups(); ++g) {
           if (group_cost[static_cast<std::size_t>(g)] <= 0.0) continue;
-          scatter_span[static_cast<std::size_t>(g)] = probe.tracer->record(
-              obs::Span{0, phase, topo->aggregator_of_group(g), "scatter",
-                        label, 0.0, group_cost[static_cast<std::size_t>(g)],
-                        0.0, "agg_link"});
+          const int agg = topo->aggregator_of_group(g);
+          std::uint64_t shipped = 0;
+          for (int r : topo->members_of(g))
+            if (r != agg)
+              shipped += plan.slices[static_cast<std::size_t>(r)].encoded_bytes;
+          obs::Span sc;
+          sc.parent = phase;
+          sc.rank = agg;
+          sc.stage = "scatter";
+          sc.detail = label;
+          sc.start = 0.0;
+          sc.end = group_cost[static_cast<std::size_t>(g)];
+          sc.resource = "agg_link";
+          // Bandwidth part only — the per-message latency term is invariant
+          // under link relief (see the ship span).
+          sc.service = static_cast<double>(shipped) / agg_cfg.link_bandwidth;
+          sc.res = "agg_link";
+          scatter_span[static_cast<std::size_t>(g)] =
+              probe.tracer->record(std::move(sc));
         }
       }
       for (int r = 0; r < params.nprocs; ++r) {
@@ -699,8 +734,16 @@ RestartStats run_restart_rank(exec::RankCtx& ctx, const Params& params,
         const int g = aggregated ? topo->group_of(r) : -1;
         const double arrival =
             aggregated ? group_cost[static_cast<std::size_t>(g)] : 0.0;
-        const std::uint64_t span = probe.tracer->record(obs::Span{
-            0, phase, r, "decode", label, arrival, arrival + decode});
+        obs::Span ds;
+        ds.parent = phase;
+        ds.rank = r;
+        ds.stage = "decode";
+        ds.detail = label;
+        ds.start = arrival;
+        ds.end = arrival + decode;
+        ds.service = decode;
+        ds.res = "codec_cpu";
+        const std::uint64_t span = probe.tracer->record(std::move(ds));
         if (aggregated && scatter_span[static_cast<std::size_t>(g)] != 0)
           probe.tracer->edge(scatter_span[static_cast<std::size_t>(g)], span);
       }

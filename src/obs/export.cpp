@@ -1,6 +1,7 @@
 #include "obs/export.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <set>
@@ -72,6 +73,10 @@ void ChromeTraceEmitter::span_event(const Span& s) {
   if (s.wait > 0) {
     w_.key("wait_s").value(s.wait);
     w_.key("resource").value(s.resource);
+  }
+  if (!s.res.empty()) {
+    w_.key("service_s").value(s.service);
+    w_.key("res").value(s.res);
   }
   w_.end_object();
   w_.end_object();
@@ -156,10 +161,20 @@ void write_metrics_json(std::ostream& os, const MetricsSnapshot& snap) {
     w.key("count").value(h.count);
     w.key("sum").value(h.sum());
     w.key("mean").value(h.mean());
-    w.key("buckets").begin_object();
-    for (const auto& [bucket, count] : h.buckets)
-      w.key(std::to_string(bucket)).value(count);
-    w.end_object();
+    // Explicit bucket boundaries: index b holds units in [2^b, 2^(b+1)),
+    // so in value terms [2^b * quantum, 2^(b+1) * quantum); index -1 holds
+    // exact zeros (lo == hi == 0).
+    w.key("buckets").begin_array();
+    for (const auto& [bucket, count] : h.buckets) {
+      w.begin_object();
+      w.key("bucket").value(bucket);
+      w.key("lo").value(bucket < 0 ? 0.0 : std::ldexp(1.0, bucket) * h.quantum);
+      w.key("hi").value(bucket < 0 ? 0.0
+                                   : std::ldexp(1.0, bucket + 1) * h.quantum);
+      w.key("count").value(count);
+      w.end_object();
+    }
+    w.end_array();
     w.end_object();
   }
   w.end_object();

@@ -107,8 +107,13 @@ std::string UtilizationReport::top_summary(std::size_t n) const {
 }
 
 void write_utilization_json(std::ostream& os, const UtilizationReport& rep) {
+  // Key order is part of the schema: `schema_version` first, then fixed
+  // per-resource keys in a pinned order, resources sorted by (busy_frac
+  // desc, name) — so the file diffs byte-stably across runs. Bump
+  // `schema_version` on any layout change.
   util::JsonWriter w(os, /*pretty=*/true);
   w.begin_object();
+  w.key("schema_version").value(1);
   w.key("makespan").value(rep.makespan);
   w.key("resources").begin_array();
   for (const ResourceUtilization& u : rep.resources) {

@@ -36,6 +36,12 @@ struct Span {
   double end = 0.0;      ///< virtual seconds, >= start
   double wait = 0.0;     ///< seconds of the interval blocked on `resource`
   std::string resource;  ///< what `wait` waited on; empty if wait == 0
+  double service = 0.0;  ///< seconds of the interval served by `res`
+  /// ResourceLedger id of the pool that served this span ("ost[3]",
+  /// "bb[0].drain", "agg_link", "codec_cpu", ...); empty = untagged. The
+  /// what-if engine (whatif.hpp) scales `service`/`wait` by matching this
+  /// id (and `resource`) against a relief scenario's resource group.
+  std::string res;
 };
 
 /// Happens-before between two recorded spans (cross-rank or cross-stage).

@@ -40,9 +40,11 @@ void put_span(std::ostream& os, const Span& s) {
   os.write(reinterpret_cast<const char*>(&s.start), sizeof(s.start));
   os.write(reinterpret_cast<const char*>(&s.end), sizeof(s.end));
   os.write(reinterpret_cast<const char*>(&s.wait), sizeof(s.wait));
+  os.write(reinterpret_cast<const char*>(&s.service), sizeof(s.service));
   put_str(os, s.stage);
   put_str(os, s.detail);
   put_str(os, s.resource);
+  put_str(os, s.res);
 }
 
 std::string get_str(std::istream& is) {
@@ -61,9 +63,11 @@ Span get_span(std::istream& is) {
   is.read(reinterpret_cast<char*>(&s.start), sizeof(s.start));
   is.read(reinterpret_cast<char*>(&s.end), sizeof(s.end));
   is.read(reinterpret_cast<char*>(&s.wait), sizeof(s.wait));
+  is.read(reinterpret_cast<char*>(&s.service), sizeof(s.service));
   s.stage = get_str(is);
   s.detail = get_str(is);
   s.resource = get_str(is);
+  s.res = get_str(is);
   return s;
 }
 
@@ -132,6 +136,25 @@ std::uint64_t TraceStream::record(Span s) {
          seq;
   const std::uint64_t id = s.id;
   ++sh.recorded;
+  {
+    // Per-stage envelope over EVERY span (kept and dropped) — feeds the
+    // envelope-span critical-path approximation (envelope_spans()).
+    auto [it, fresh] = sh.stages.try_emplace(s.stage);
+    StageAgg& agg = it->second;
+    if (fresh) {
+      agg.min_start = s.start;
+      agg.max_end = s.end;
+    } else {
+      agg.min_start = std::min(agg.min_start, s.start);
+      agg.max_end = std::max(agg.max_end, s.end);
+    }
+    ++agg.count;
+    agg.dur_ns += std::llround((s.end - s.start) * 1e9);
+    const std::int64_t wait_ns = std::llround(s.wait * 1e9);
+    agg.wait_ns += wait_ns;
+    if (wait_ns > 0 && !s.resource.empty())
+      agg.wait_by_res[s.resource] += wait_ns;
+  }
   if (opt_.sample.keep(s.rank)) {
     ++sh.kept;
     sh.ranks_seen.insert(s.rank);
@@ -209,6 +232,56 @@ std::uint64_t TraceStream::spans_kept() const {
     total += sh->kept;
   }
   return total;
+}
+
+std::vector<Span> TraceStream::envelope_spans() const {
+  // Merge the per-shard stage aggregates (std::map order makes the merge —
+  // and therefore the emitted ids — deterministic).
+  std::map<std::string, StageAgg> stages;
+  for (const auto& shp : shards_) {
+    Shard& sh = *shp;
+    std::lock_guard<std::mutex> lock(sh.mu);
+    for (const auto& [stage, agg] : sh.stages) {
+      auto [it, fresh] = stages.try_emplace(stage, agg);
+      if (fresh) continue;
+      StageAgg& d = it->second;
+      d.count += agg.count;
+      d.dur_ns += agg.dur_ns;
+      d.wait_ns += agg.wait_ns;
+      d.min_start = std::min(d.min_start, agg.min_start);
+      d.max_end = std::max(d.max_end, agg.max_end);
+      for (const auto& [res, ns] : agg.wait_by_res) d.wait_by_res[res] += ns;
+    }
+  }
+  std::vector<Span> out;
+  out.reserve(stages.size());
+  const int agg_rank = std::max(opt_.sample.nranks, 0);
+  std::uint32_t seq = 0;
+  for (const auto& [stage, agg] : stages) {
+    Span s;
+    s.id = (static_cast<std::uint64_t>(agg_rank + 1) << 32) | ++seq;
+    s.rank = agg_rank;
+    s.stage = stage;
+    s.start = agg.min_start;
+    s.end = agg.max_end;
+    s.wait = static_cast<double>(agg.wait_ns) / 1e9;
+    // Dominant wait resource: largest accumulated wait, ties to the
+    // lexicographically first name (map order).
+    std::int64_t best = 0;
+    for (const auto& [res, ns] : agg.wait_by_res)
+      if (ns > best) {
+        best = ns;
+        s.resource = res;
+      }
+    char detail[96];
+    std::snprintf(detail, sizeof(detail), "%llu spans, %.9f s busy",
+                  static_cast<unsigned long long>(agg.count),
+                  static_cast<double>(agg.dur_ns) / 1e9);
+    s.detail = detail;
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(), span_less);
+  return out;
 }
 
 void TraceStream::finish() {

@@ -89,15 +89,27 @@ class TraceStream : public SpanSink {
   std::uint64_t spans_recorded() const;
   std::uint64_t spans_kept() const;
 
+  /// Per-stage envelope spans over EVERY recorded span (kept and dropped
+  /// alike): one span per stage covering [min start, max end], with the
+  /// stage's total wait and its dominant wait resource. This is the input
+  /// to the documented envelope-span critical-path approximation under
+  /// `--trace_sample` (the full stream is never resident, so the exact
+  /// chain is unavailable). Integer-nanosecond accumulation keeps the
+  /// result engine- and interleaving-invariant. Callable any time.
+  std::vector<Span> envelope_spans() const;
+
   bool finished() const { return finished_; }
 
  private:
-  struct StageAgg {  // envelope of one stage's dropped spans
+  struct StageAgg {  // envelope of one stage's spans
     std::uint64_t count = 0;
     std::int64_t dur_ns = 0;   // integer sums: commutative across engines
     std::int64_t wait_ns = 0;
     double min_start = 0.0;
     double max_end = 0.0;
+    /// wait nanoseconds keyed by Span::resource — picks the envelope's
+    /// dominant resource (empty-resource wait is not attributed).
+    std::map<std::string, std::int64_t> wait_by_res;
   };
   struct Shard {
     std::mutex mu;
@@ -105,6 +117,7 @@ class TraceStream : public SpanSink {
     std::vector<SpanEdge> edges;
     std::map<int, std::uint32_t> next_seq;
     std::map<std::string, StageAgg> dropped;  // only when sampling
+    std::map<std::string, StageAgg> stages;   // every span, kept or dropped
     std::set<int> ranks_seen;                 // kept ranks only
     std::size_t peak = 0;
     std::uint64_t recorded = 0;

@@ -568,6 +568,8 @@ std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests,
           s.end = res.end;
           s.wait = queue_wait;
           if (queue_wait > kEps) s.resource = "ost_queue";
+          s.service = a.service_sum;
+          s.res = "ost[" + std::to_string(res.first_ost) + "]";
           span_of[i] = tr->record(std::move(s));
         }
         if (mx != nullptr)
@@ -594,6 +596,8 @@ std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests,
           absorb.end = res.end;
           absorb.wait = stall;
           if (stall > kEps) absorb.resource = gate;
+          absorb.service = res.end - a.absorb_start;
+          absorb.res = bb_res(node_of(req.client), "ingest");
           const std::uint64_t absorb_id = tr->record(std::move(absorb));
           span_of[i] = absorb_id;
           if (stall > kEps) {
@@ -616,6 +620,8 @@ std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests,
           drain.end = res.pfs_end;
           drain.wait = slot_wait;
           if (slot_wait > kEps) drain.resource = "drain_stream";
+          drain.service = a.service_sum;
+          drain.res = bb_res(node_of(req.client), "drain");
           const std::uint64_t drain_id = tr->record(std::move(drain));
           tr->edge(absorb_id, drain_id);
         }
@@ -641,6 +647,8 @@ std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests,
           if (wait > kEps)
             s.resource =
                 a.capacity_stalled ? "bb_capacity" : "prefetch_stream";
+          s.service = a.service_sum;
+          s.res = bb_res(node_of(req.client), "prefetch");
           span_of[i] = tr->record(std::move(s));
         }
         if (mx != nullptr) {
@@ -661,6 +669,8 @@ std::vector<IoResult> SimFs::run(const std::vector<IoRequest>& requests,
           s.wait = wait;
           if (wait > kEps)
             s.resource = a.prefetch_gated ? "prefetch_gate" : "bb_read_queue";
+          s.service = res.end - a.read_start;
+          s.res = bb_res(node_of(req.client), "read");
           span_of[i] = tr->record(std::move(s));
         }
         if (mx != nullptr)
