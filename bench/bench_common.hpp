@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "campaign/executor.hpp"
+#include "campaign/report.hpp"
 #include "exec/engine.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
@@ -49,6 +51,14 @@ struct BenchContext {
   bool explain = false;
   /// --explain_out: also write that report as JSON (implies --explain).
   std::string explain_out;
+  /// --jobs: campaign executor worker threads (1 = inline, no threads).
+  int jobs = 1;
+  /// --cache: JSON result-cache path for campaign sweeps — loaded before
+  /// the run, saved after, so a re-run in a later process hits warm.
+  std::string cache_path;
+  /// --predict: fit campaign::PredictService over the executed cells and
+  /// print a held-out what-if answer with its calibration error.
+  bool predict = false;
   /// Shared registry behind probe(); counters accumulate across rows.
   std::shared_ptr<obs::MetricsRegistry> metrics =
       std::make_shared<obs::MetricsRegistry>();
@@ -136,6 +146,13 @@ inline BenchContext parse_bench_args(int argc, char** argv,
                  "write the last row's explain report as JSON (implies "
                  "--explain)",
                  1, std::string(""));
+  cli.add_option("jobs", "campaign worker threads (1 = inline)", 1,
+                 std::string("1"));
+  cli.add_option("cache", "campaign JSON result-cache path", 1,
+                 std::string(""));
+  cli.add_flag("predict",
+               "fit the campaign predict service and answer a held-out "
+               "what-if query (campaign benches)");
   cli.add_flag("help", "show usage");
   cli.parse(argc, argv);
   if (cli.flag("help")) {
@@ -158,6 +175,9 @@ inline BenchContext parse_bench_args(int argc, char** argv,
   ctx.metrics_out = cli.get("metrics_out");
   ctx.explain_out = cli.get("explain_out");
   ctx.explain = cli.flag("explain") || !ctx.explain_out.empty();
+  ctx.jobs = cli.get_int_or("jobs", 1);
+  ctx.cache_path = cli.get("cache");
+  ctx.predict = cli.flag("predict");
   util::make_dirs(ctx.out_dir);
   return ctx;
 }
@@ -235,21 +255,24 @@ inline void explain_row(const BenchContext& ctx, const obs::Tracer& row_tracer,
 }
 
 /// Reference PFS + burst-buffer model shared by the staging and codec
-/// extension studies — one definition so their CSVs stay cross-comparable.
+/// extension studies — delegates to the campaign layer's single definition
+/// so bench CSVs and campaign results stay cross-comparable.
 inline pfs::SimFsConfig study_fs_config(int ranks, bool burst_buffer) {
-  pfs::SimFsConfig cfg;
-  cfg.n_ost = 32;
-  cfg.ost_bandwidth = 0.8e9;
-  cfg.client_bandwidth = 1.2e9;
-  cfg.mds_latency = 5.0e-4;
-  cfg.seed = 1234;
-  cfg.bb.enabled = burst_buffer;
-  cfg.bb.nodes = ranks / 16 > 1 ? ranks / 16 : 1;
-  cfg.bb.ranks_per_node = 16;
-  cfg.bb.write_bandwidth = 8.0e9;
-  cfg.bb.drain_bandwidth = 1.5e9;
-  cfg.bb.drain_concurrency = 2;
-  return cfg;
+  return campaign::reference_fs_config(ranks, burst_buffer);
+}
+
+/// The deterministic-row helper for all campaign output: write the
+/// canonical campaign CSV (rows sorted by cell name, virtual-clock columns
+/// only — never wall-clock, never cache-hit bits) and return its path.
+/// Every bench that emits campaign rows goes through this, so
+/// tools/bench_diff.py-style artifact diffs stay clean by construction.
+inline std::string campaign_csv(const BenchContext& ctx,
+                                const std::string& name,
+                                const std::vector<campaign::CellConfig>& cells,
+                                const std::vector<campaign::CellOutcome>& outcomes) {
+  util::CsvWriter csv(csv_path(ctx, name));
+  campaign::write_csv(csv, cells, outcomes);
+  return csv.path();
 }
 
 inline void banner(const std::string& title, const std::string& paper_ref) {

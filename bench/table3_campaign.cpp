@@ -1,89 +1,104 @@
-/// Table III reproduction: the parameterized Sedov campaign. The paper ran 47
-/// configurations on Summit spanning max_step 40–1000, n_cell 32²–131072²,
-/// max_level 2–4, plot_int 1–20, cfl 0.3–0.6, nprocs 1–1024. This bench runs
-/// the scaled matrix and prints the realized ranges plus a per-case inventory.
+/// Table III reproduction, campaign edition: the paper ran 47 configurations
+/// on Summit by hand; this bench runs the sharded sweep service over the
+/// Table III axes {interface × file mode × staging × codec × engine × ranks}
+/// through campaign::CampaignExecutor — work-stealing across --jobs threads,
+/// results deduplicated through the cache (persist it with --cache and a
+/// re-run resolves without simulating a single cell), per-cell critical-path
+/// attribution carried into the canonical CSV.
+///
+/// With --predict the bench fits campaign::PredictService on the executed
+/// cells and answers a what-if query for a rank count the campaign never
+/// ran, printing the Eq. 3-style fit's calibration error next to the answer.
+///
+/// Determinism contract: stdout and the CSV contain configuration and
+/// virtual-clock data only. Wall time goes to stderr, where artifact diffs
+/// never look.
 
-#include <algorithm>
 #include <cstdio>
+#include <map>
 
 #include "bench_common.hpp"
-#include "core/amrio.hpp"
+#include "campaign/grid.hpp"
+#include "campaign/predict.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
 int main(int argc, char** argv) {
   using namespace amrio;
   const auto ctx = bench::parse_bench_args(
-      argc, argv, "table3_campaign", "Table III: campaign parameter ranges");
-  bench::banner("Table III — parameterized Sedov campaign",
-                "paper Table III (47 Summit runs; scaled matrix here)");
+      argc, argv, "table3_campaign",
+      "Table III: sharded campaign over the sweep axes");
+  bench::banner("Table III — sharded proxy campaign",
+                "paper Table III (47 Summit runs; full cross product here)");
 
-  const double scale = ctx.pick_scale(0.25, 0.5);
-  auto cases = core::table3_campaign(scale);
-  // keep bench wall time sane at default scale
-  if (!ctx.full && cases.size() > 30) cases.resize(30);
-  std::printf("running %zu cases at scale %.3f...\n\n", cases.size(), scale);
+  campaign::GridSpec spec = campaign::table3_grid();
+  if (!ctx.full) {
+    // bench-scale default: one engine, two rank points (144 cells); --full
+    // runs the whole 576-cell product the test suite pins
+    spec.engines = {ctx.engine};
+    spec.rank_counts = {8, 16};
+  }
+  const std::vector<campaign::CellConfig> cells = campaign::make_grid(spec);
+  std::printf("campaign: %zu cells, %d worker(s)%s\n", cells.size(), ctx.jobs,
+              ctx.cache_path.empty() ? "" : ", persistent cache");
 
   util::WallTimer timer;
-  const auto runs = core::run_campaign(cases);
+  campaign::ExecutorOptions opts;
+  opts.jobs = ctx.jobs;
+  opts.cache_path = ctx.cache_path;
+  campaign::CampaignExecutor executor(opts);
+  const std::vector<campaign::CellOutcome> outcomes = executor.run(cells);
+  // wall time is scheduling noise: stderr only, never stdout or the CSV
+  std::fprintf(stderr, "campaign wall time: %.1fs\n", timer.elapsed());
 
-  // realized ranges
-  auto minmax_i = [&](auto getter) {
-    auto lo = getter(runs.front());
-    auto hi = lo;
-    for (const auto& r : runs) {
-      lo = std::min(lo, getter(r));
-      hi = std::max(hi, getter(r));
-    }
-    return std::pair{lo, hi};
-  };
-  const auto steps = minmax_i([](const core::RunRecord& r) { return r.config.max_step; });
-  const auto cells = minmax_i([](const core::RunRecord& r) { return r.config.ncell; });
-  const auto levels = minmax_i([](const core::RunRecord& r) { return r.config.max_level + 1; });
-  const auto pint = minmax_i([](const core::RunRecord& r) { return r.config.plot_int; });
-  const auto cfl = minmax_i([](const core::RunRecord& r) { return r.config.cfl; });
-  const auto ranks = minmax_i([](const core::RunRecord& r) { return r.config.nprocs; });
+  const campaign::ExecutorStats& stats = executor.stats();
+  std::printf("cells: %llu  executed: %llu  cache hits: %llu\n",
+              static_cast<unsigned long long>(stats.cells),
+              static_cast<unsigned long long>(stats.executed),
+              static_cast<unsigned long long>(stats.cache_hits));
 
-  util::TextTable ranges({"parameter", "paper range", "this campaign"});
-  ranges.add_row({"amr.max_step", "40 - 1000",
-                  std::to_string(steps.first) + " - " + std::to_string(steps.second)});
-  ranges.add_row({"amr.n_cell", "(32x32) - (131072x131072)",
-                  std::to_string(cells.first) + "² - " + std::to_string(cells.second) + "²"});
-  ranges.add_row({"amr.max_level (levels)", "2 - 4",
-                  std::to_string(levels.first) + " - " + std::to_string(levels.second)});
-  ranges.add_row({"amr.plot_int", "1 - 20",
-                  std::to_string(pint.first) + " - " + std::to_string(pint.second)});
-  ranges.add_row({"castro.cfl", "0.3 - 0.6",
-                  util::format_g(cfl.first, 3) + " - " + util::format_g(cfl.second, 3)});
-  ranges.add_row({"nprocs", "1 - 1024",
-                  std::to_string(ranks.first) + " - " + std::to_string(ranks.second)});
-  std::printf("%s\n", ranges.to_string().c_str());
-
-  util::TextTable inv({"case", "ncell", "levels", "plot_int", "cfl", "nprocs",
-                       "outputs", "files", "total bytes"});
-  util::CsvWriter csv(bench::csv_path(ctx, "table3_campaign.csv"));
-  csv.header({"case", "ncell", "max_level", "plot_int", "cfl", "nprocs",
-              "outputs", "nfiles", "total_bytes", "wall_seconds"});
-  for (const auto& r : runs) {
-    inv.add_row({r.config.name, std::to_string(r.config.ncell),
-                 std::to_string(r.nlevels), std::to_string(r.config.plot_int),
-                 util::format_g(r.config.cfl, 3), std::to_string(r.config.nprocs),
-                 std::to_string(r.total.steps.size()), std::to_string(r.nfiles),
-                 std::to_string(r.total_bytes)});
-    csv.field(r.config.name)
-        .field(static_cast<std::int64_t>(r.config.ncell))
-        .field(static_cast<std::int64_t>(r.config.max_level))
-        .field(r.config.plot_int)
-        .field(r.config.cfl)
-        .field(static_cast<std::int64_t>(r.config.nprocs))
-        .field(static_cast<std::uint64_t>(r.total.steps.size()))
-        .field(r.nfiles)
-        .field(r.total_bytes)
-        .field(r.wall_seconds);
-    csv.endrow();
+  // headline rows: the slowest cell per staging mode (the Table III story —
+  // which staging path binds at which scale)
+  util::TextTable table({"staging", "slowest cell", "dump s", "encoded",
+                         "critical stage", "binding"});
+  std::map<std::string, std::size_t> worst;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const macsio::Params p = campaign::resolved_params(cells[i]);
+    std::string staging = p.aggregators > 0 ? "agg" : "direct";
+    if (p.stage_to_bb) staging = p.aggregators > 0 ? "agg+bb" : "bb";
+    staging = std::string(macsio::to_string(p.file_mode)) + "/" + staging;
+    const auto it = worst.find(staging);
+    if (it == worst.end() ||
+        outcomes[i].result.dump_seconds > outcomes[it->second].result.dump_seconds)
+      worst[staging] = i;
   }
-  std::printf("%s", inv.to_string().c_str());
-  std::printf("\ncampaign wall time: %.1fs; csv: %s\n", timer.elapsed(),
-              csv.path().c_str());
+  for (const auto& [staging, i] : worst) {
+    const campaign::CellResult& r = outcomes[i].result;
+    table.add_row({staging, outcomes[i].name, util::format_g(r.dump_seconds, 4),
+                   util::human_bytes(r.encoded_bytes), r.critical_stage,
+                   r.binding_resource});
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  const std::string csv =
+      bench::campaign_csv(ctx, "table3_campaign.csv", cells, outcomes);
+  std::printf("csv: %s\n", csv.c_str());
+
+  if (ctx.predict) {
+    campaign::PredictService predict;
+    predict.fit(cells, outcomes);
+    // what-if: a rank count the campaign never executed
+    campaign::CellConfig query = cells.front();
+    query.name = "whatif/r23";
+    query.params.nprocs = 23;
+    const auto answer = predict.predict(query);
+    std::printf("%s\n", predict.report().c_str());
+    std::printf(
+        "what-if %s (never simulated): dump %.6fs, %llu encoded bytes "
+        "(stratum %s)\n",
+        query.name.c_str(), answer.dump_seconds,
+        static_cast<unsigned long long>(answer.encoded_bytes),
+        answer.exact_stratum ? answer.stratum.c_str() : "global");
+  }
   return 0;
 }

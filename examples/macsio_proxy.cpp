@@ -18,11 +18,20 @@
 /// ledger), --prof_out (host-side self-profiling of the engine itself),
 /// --explain / --explain_out (predictive bottleneck report: span-DAG slack,
 /// per-resource what-if makespans at 1.5x/2x relief, shadow prices).
+///
+/// Campaign surface: --campaign sweeps the configuration through the sharded
+/// campaign executor (--jobs worker threads, --cache persistent result
+/// cache, --campaign_csv canonical CSV) and --predict N answers a
+/// dump/restart-time what-if at a never-simulated rank count from the
+/// calibrated Eq. 3-style fit.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
+#include "campaign/predict.hpp"
+#include "campaign/report.hpp"
+#include "core/proxy_study.hpp"
 #include "exec/engine.hpp"
 #include "iostats/aggregate.hpp"
 #include "macsio/driver.hpp"
@@ -36,6 +45,7 @@
 #include "obs/whatif.hpp"
 #include "pfs/timeline.hpp"
 #include "staging/aggregator.hpp"
+#include "util/csv.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
 
@@ -54,6 +64,11 @@ int main(int argc, char** argv) {
   bool want_critical = false;
   bool want_explain = false;
   bool no_approx_cp = false;
+  bool campaign_mode = false;
+  int jobs = 1;
+  std::string cache_path;
+  std::string campaign_csv;
+  int predict_ranks = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--spmd") {  // legacy alias for --engine spmd
@@ -92,6 +107,26 @@ int main(int argc, char** argv) {
     } else if (a == "--explain_out" && i + 1 < argc) {
       explain_out = argv[++i];
       want_explain = true;
+    } else if (a == "--campaign") {
+      campaign_mode = true;
+    } else if (a == "--jobs" && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+      if (jobs < 1) {
+        std::fprintf(stderr, "macsio_proxy: --jobs must be >= 1\n");
+        return 2;
+      }
+    } else if (a == "--cache" && i + 1 < argc) {
+      cache_path = argv[++i];
+    } else if (a == "--campaign_csv" && i + 1 < argc) {
+      campaign_csv = argv[++i];
+      campaign_mode = true;
+    } else if (a == "--predict" && i + 1 < argc) {
+      predict_ranks = std::atoi(argv[++i]);
+      if (predict_ranks < 1) {
+        std::fprintf(stderr, "macsio_proxy: --predict needs a rank count\n");
+        return 2;
+      }
+      campaign_mode = true;
     } else if (a == "--help") {
       std::printf(
           "macsio_proxy: MACSio-compatible proxy I/O application\n"
@@ -133,7 +168,18 @@ int main(int argc, char** argv) {
           "          high-water, arena bytes; NOT engine-invariant).\n"
           "          Any virtual-time flag also replays the request stream\n"
           "          through the reference PFS/BB model so the artifacts\n"
-          "          hold every stage.\n");
+          "          hold every stage.\n"
+          "  campaign: --campaign (sweep this configuration over the codec\n"
+          "          axis — and over rank scalings when predicting — through\n"
+          "          the sharded campaign executor instead of one run),\n"
+          "          --jobs N (executor worker threads; 1 = inline),\n"
+          "          --cache FILE (persistent JSON result cache; a re-run\n"
+          "          resolves warm without simulating), --campaign_csv FILE\n"
+          "          (canonical campaign CSV: virtual-clock columns only),\n"
+          "          --predict N (fit the campaign predict service and\n"
+          "          answer the dump/restart-time what-if at N ranks —\n"
+          "          a rank count the campaign never simulated — printing\n"
+          "          the fit's calibration error next to the answer).\n");
       return 0;
     } else {
       args.push_back(a);
@@ -154,6 +200,92 @@ int main(int argc, char** argv) {
     return 2;
   }
   std::printf("invocation: %s\n", params.to_command_line().c_str());
+
+  if (campaign_mode) {
+    // Sweep the configured workload over the codec axis through
+    // core::study_sweep — the campaign executor behind it dedupes repeated
+    // configurations and honors --jobs/--cache. When predicting we also run
+    // 2x/4x rank scalings so each stratum holds enough points for a fit.
+    std::vector<core::StudyOptions> variants;
+    for (const char* codec : {"identity", "lossless", "ebl"}) {
+      core::StudyOptions v;
+      v.engine = engine_kind;
+      v.codec = codec;
+      if (std::string(codec) == "ebl") {
+        v.codec_error_bound =
+            params.codec_error_bound > 0 ? params.codec_error_bound : 1.0e-3;
+        v.codec_var_bounds = params.codec_var_bounds;
+      }
+      v.codec_throughput = params.codec_throughput;
+      v.codec_decode_throughput = params.codec_decode_throughput;
+      v.restart = params.restart;
+      v.restart_from_bb = params.restart_from_bb;
+      variants.push_back(std::move(v));
+    }
+    campaign::ExecutorOptions exec_opts;
+    exec_opts.jobs = jobs;
+    exec_opts.cache_path = cache_path;
+    std::vector<int> rank_points = {params.nprocs};
+    if (predict_ranks > 0) {
+      rank_points.push_back(params.nprocs * 2);
+      rank_points.push_back(params.nprocs * 4);
+    }
+    std::vector<campaign::CellConfig> cells;
+    std::vector<campaign::CellOutcome> outcomes;
+    campaign::ExecutorStats stats;
+    for (const int ranks : rank_points) {
+      macsio::Params base = params;
+      base.nprocs = ranks;
+      core::StudySweepResult sweep =
+          core::study_sweep(base, variants, exec_opts);
+      for (auto& c : sweep.cells) {
+        c.name += "/r" + std::to_string(ranks);
+        cells.push_back(std::move(c));
+      }
+      for (auto& o : sweep.outcomes) {
+        o.name += "/r" + std::to_string(ranks);
+        outcomes.push_back(std::move(o));
+      }
+      stats.cells += sweep.stats.cells;
+      stats.executed += sweep.stats.executed;
+      stats.cache_hits += sweep.stats.cache_hits;
+    }
+    std::printf("campaign: %llu cells, %d worker(s): %llu executed, "
+                "%llu cache hits\n",
+                static_cast<unsigned long long>(stats.cells), jobs,
+                static_cast<unsigned long long>(stats.executed),
+                static_cast<unsigned long long>(stats.cache_hits));
+    util::TextTable table(
+        {"cell", "encoded", "dump s", "critical stage", "binding"});
+    for (const auto& o : outcomes)
+      table.add_row({o.name, util::human_bytes(o.result.encoded_bytes),
+                     util::format_g(o.result.dump_seconds, 4),
+                     o.result.critical_stage, o.result.binding_resource});
+    std::printf("%s", table.to_string().c_str());
+    if (!campaign_csv.empty()) {
+      util::CsvWriter csv(campaign_csv);
+      campaign::write_csv(csv, cells, outcomes);
+      std::printf("csv: %s\n", csv.path().c_str());
+    }
+    if (predict_ranks > 0) {
+      campaign::PredictService predict;
+      predict.fit(cells, outcomes);
+      campaign::CellConfig query = cells.front();
+      query.name = "whatif/r" + std::to_string(predict_ranks);
+      query.params.nprocs = predict_ranks;
+      const auto answer = predict.predict(query);
+      std::printf("%s\n", predict.report().c_str());
+      std::printf("what-if %s (never simulated): dump %.6fs%s, "
+                  "%llu encoded bytes (stratum %s)\n",
+                  query.name.c_str(), answer.dump_seconds,
+                  answer.restart_seconds > 0
+                      ? (", restart " + util::format_g(answer.restart_seconds, 6) + "s").c_str()
+                      : "",
+                  static_cast<unsigned long long>(answer.encoded_bytes),
+                  answer.exact_stratum ? answer.stratum.c_str() : "global");
+    }
+    return 0;
+  }
 
   std::unique_ptr<pfs::StorageBackend> backend;
   if (to_disk) backend = std::make_unique<pfs::PosixBackend>(out_root);

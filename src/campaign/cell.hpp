@@ -1,0 +1,45 @@
+#pragma once
+/// \file cell.hpp
+/// One campaign cell: a named {macsio::Params, core::StudyOptions} pair — a
+/// single point of the Table III sweep {interface × file mode × codec ×
+/// staging × engine × ranks}, plus everything else either struct carries.
+/// `canonical_key` renders the *full* configuration into a schema-versioned
+/// string: the result-cache key. Completeness is load-bearing (a missed
+/// field = stale cache hits when that knob is swept), so the key covers
+/// every field of both structs and tests/test_campaign.cpp walks each field
+/// asserting the key moves. When a field lands in either struct, extend
+/// `canonical_key` AND the property test AND bump the sizeof tripwires.
+
+#include <string>
+
+#include "core/study_options.hpp"
+#include "macsio/params.hpp"
+
+namespace amrio::campaign {
+
+/// Cache-key schema version. Bump when the key format changes, a knob is
+/// added, or any model underneath (driver, SimFs, codec, staging) changes
+/// results for an unchanged configuration — persisted caches from other
+/// versions are then ignored rather than served stale.
+inline constexpr int kCacheSchemaVersion = 1;
+
+struct CellConfig {
+  /// Display label for tables/CSV; deliberately NOT part of the cache key —
+  /// two differently-named cells with the same configuration share a result.
+  std::string name;
+  macsio::Params params;
+  core::StudyOptions study;
+};
+
+/// The canonicalized configuration string: "amrio-campaign-v<schema>|" then
+/// every field of `params` and `study` as `name=value`, doubles in %.17g
+/// (round-trip exact), in struct declaration order. Pure function of the
+/// configuration — identical across processes, runs, and --jobs values.
+std::string canonical_key(const CellConfig& cell);
+
+/// The macsio::Params the executor actually runs: `cell.params` with the
+/// study's codec/restart knobs folded in (the same projection
+/// core::calibrate_and_validate applies before executing a proxy).
+macsio::Params resolved_params(const CellConfig& cell);
+
+}  // namespace amrio::campaign

@@ -1,0 +1,91 @@
+#pragma once
+/// \file predict.hpp
+/// The campaign's query front end: fit the paper's Eq. (3)-style log–log
+/// regression over executed cells and answer dump/restart-time what-if
+/// queries for configurations that were never simulated.
+///
+/// Model: within a stratum (interface × file mode × staging × codec family ×
+/// restart path — the axes that change the *shape* of the I/O timeline),
+/// log(dump_seconds) is fit against [log(encoded_bytes), log(nprocs)] with
+/// `model::fit_multilinear`. Degenerate strata (collinear features — e.g.
+/// encoded bytes strictly proportional to ranks — or too few points) fall
+/// back to a single-feature log–log fit, then to the stratum mean, so every
+/// fitted stratum answers. Queries for a stratum the fit never saw fall back
+/// to a global all-cells fit.
+///
+/// The encoded-byte feature of an *unseen* cell is computed analytically —
+/// `IoInterface::task_doc_bytes` gives exact document sizes and
+/// `codec::Codec::plan` is pure in the raw size — so prediction never runs
+/// an engine, a backend, or SimFs.
+///
+/// Honesty metric: `calibration_error()` reports the in-sample mean absolute
+/// relative error of the dump-time fit; `report()` prints it next to every
+/// answer path so a consumer can see how far to trust an interpolation.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "campaign/cell.hpp"
+#include "campaign/executor.hpp"
+#include "model/regression.hpp"
+
+namespace amrio::campaign {
+
+class PredictService {
+ public:
+  /// Fit from executed cells (outcomes aligned 1:1 with `cells`). Cells with
+  /// zero bytes or non-positive dump time are skipped. Replaces any prior
+  /// fit. Throws ContractViolation when nothing is fittable.
+  void fit(const std::vector<CellConfig>& cells,
+           const std::vector<CellOutcome>& outcomes);
+
+  struct Prediction {
+    double dump_seconds = 0.0;
+    /// 0 when the stratum carries no restart observations.
+    double restart_seconds = 0.0;
+    /// Analytic encoded data bytes of the queried cell (exact, not fitted).
+    std::uint64_t encoded_bytes = 0;
+    std::string stratum;       ///< stratum that answered ("" = global fit)
+    bool exact_stratum = false; ///< true: the cell's own stratum was fitted
+  };
+
+  /// Answer a what-if query without simulating. Requires a prior fit().
+  Prediction predict(const CellConfig& cell) const;
+
+  /// In-sample mean absolute relative error of the dump-time fit.
+  double calibration_error() const { return calibration_error_; }
+  std::size_t fitted_cells() const { return fitted_cells_; }
+  std::size_t strata() const { return strata_.size(); }
+
+  /// One-line human summary: strata, observations, calibration error.
+  std::string report() const;
+
+  /// The stratum key of a cell: the axes that change the timeline's shape.
+  static std::string stratum_key(const CellConfig& cell);
+
+  /// Exact encoded data-file bytes of a cell, computed without simulation
+  /// (task_doc_bytes × ranks × dumps through the codec plan). Equals the
+  /// `encoded_bytes` a real execution reports.
+  static std::uint64_t predicted_cell_bytes(const CellConfig& cell);
+
+ private:
+  struct Stratum {
+    model::MultiFit dump_fit;     ///< beta over [1, log bytes, log ranks]
+    model::MultiFit restart_fit;  ///< same features; valid iff has_restart
+    bool has_restart = false;
+    std::size_t n = 0;
+  };
+
+  static Stratum fit_stratum(const std::vector<std::vector<double>>& rows,
+                             const std::vector<double>& log_dump,
+                             const std::vector<double>& log_restart);
+
+  std::map<std::string, Stratum> strata_;
+  Stratum global_;
+  double calibration_error_ = 0.0;
+  std::size_t fitted_cells_ = 0;
+};
+
+}  // namespace amrio::campaign

@@ -1,0 +1,32 @@
+#pragma once
+/// \file report.hpp
+/// Deterministic campaign output: one canonical CSV row per cell, sorted by
+/// cell name (ties broken by canonical key), with *only* configuration and
+/// virtual-clock columns — no wall-clock, no cache-hit bits, no scheduling
+/// artifacts. The contract the determinism suite pins: the same grid
+/// produces byte-identical rows at any --jobs value, on any engine, from
+/// cold or warm cache.
+
+#include <string>
+#include <vector>
+
+#include "campaign/cell.hpp"
+#include "campaign/executor.hpp"
+#include "util/csv.hpp"
+
+namespace amrio::campaign {
+
+/// Header of the canonical campaign CSV.
+std::vector<std::string> csv_columns();
+
+/// Render outcomes (aligned 1:1 with `cells`) into canonically ordered,
+/// fully formatted CSV rows. Pure: same cells + same results → same rows.
+std::vector<std::vector<std::string>> csv_rows(
+    const std::vector<CellConfig>& cells,
+    const std::vector<CellOutcome>& outcomes);
+
+/// header + rows into a writer (the bench/CLI convenience).
+void write_csv(util::CsvWriter& csv, const std::vector<CellConfig>& cells,
+               const std::vector<CellOutcome>& outcomes);
+
+}  // namespace amrio::campaign

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 
@@ -252,6 +254,77 @@ class EblCodec final : public Codec {
   double smoothness_;
 };
 
+// ------------------------------------------------------- per-variable ebl
+
+/// AMRIC-style per-variable error bounds: a task document interleaves its
+/// variables in equal raw shares (our writers emit every variable for every
+/// zone), so the model splits `raw_bytes` into n near-equal shares and plans
+/// each under its own bound. Purity in raw_bytes is preserved — the share
+/// split is integer arithmetic on the size alone.
+class MultiVarEblCodec final : public Codec {
+ public:
+  MultiVarEblCodec(std::vector<double> bounds, double throughput,
+                   double decode_throughput, double smoothness) {
+    vars_.reserve(bounds.size());
+    for (const double b : bounds)
+      vars_.emplace_back(b, throughput, decode_throughput, smoothness);
+  }
+
+  const std::string& name() const override {
+    static const std::string n = "ebl";
+    return n;
+  }
+
+  CompressResult plan(std::uint64_t raw_bytes) const override {
+    return accumulate(raw_bytes, [](const EblCodec& c, std::uint64_t share) {
+      return c.plan(share);
+    });
+  }
+
+  CompressResult plan_with(std::uint64_t raw_bytes,
+                           double smoothness) const override {
+    return accumulate(raw_bytes,
+                      [smoothness](const EblCodec& c, std::uint64_t share) {
+                        return c.plan_with(share, smoothness);
+                      });
+  }
+
+  CompressResult plan_values(std::span<const double> values) const override {
+    // One smoothness estimate for the whole document (variables share the
+    // mesh), then per-variable bounds over the shares.
+    return plan_with(values.size_bytes(), estimate_smoothness(values));
+  }
+
+  double decode_seconds(std::uint64_t raw_bytes) const override {
+    double total = 0.0;
+    const std::uint64_t n = vars_.size();
+    for (std::uint64_t i = 0; i < n; ++i)
+      total += vars_[i].decode_seconds(share_bytes(raw_bytes, i, n));
+    return total;
+  }
+
+ private:
+  /// Share i of n: raw·(i+1)/n − raw·i/n — sums exactly to raw_bytes.
+  static std::uint64_t share_bytes(std::uint64_t raw, std::uint64_t i,
+                                   std::uint64_t n) {
+    return raw * (i + 1) / n - raw * i / n;
+  }
+
+  template <typename PlanFn>
+  CompressResult accumulate(std::uint64_t raw_bytes, PlanFn plan_fn) const {
+    CompressResult total{raw_bytes, 0, 0.0};
+    const std::uint64_t n = vars_.size();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const CompressResult r = plan_fn(vars_[i], share_bytes(raw_bytes, i, n));
+      total.out_bytes += r.out_bytes;
+      total.cpu_seconds += r.cpu_seconds;
+    }
+    return total;
+  }
+
+  std::vector<EblCodec> vars_;
+};
+
 }  // namespace
 
 // --------------------------------------------------- base encode/decode
@@ -285,6 +358,38 @@ const std::vector<std::string>& codec_names() {
   return names;
 }
 
+std::vector<double> parse_var_bounds(const std::string& csv) {
+  std::vector<double> bounds;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    std::size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    const std::string tok = csv.substr(pos, comma - pos);
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (tok.empty() || end == nullptr || *end != '\0')
+      throw std::invalid_argument("codec: malformed per-variable bound '" +
+                                  tok + "' in '" + csv + "'");
+    if (!(v > 0.0 && v < 1.0))
+      throw std::invalid_argument(
+          "codec: per-variable error bound must be in (0, 1), got " + tok);
+    bounds.push_back(v);
+    pos = comma + 1;
+  }
+  return bounds;
+}
+
+std::string format_var_bounds(const std::vector<double>& bounds) {
+  std::string out;
+  char buf[32];
+  for (const double b : bounds) {
+    std::snprintf(buf, sizeof(buf), "%.17g", b);
+    if (!out.empty()) out += ',';
+    out += buf;
+  }
+  return out;
+}
+
 void validate_spec(const CodecSpec& spec) {
   const auto& names = codec_names();
   if (std::find(names.begin(), names.end(), spec.name) == names.end()) {
@@ -298,6 +403,17 @@ void validate_spec(const CodecSpec& spec) {
     throw std::invalid_argument(
         "codec: error bound must be in (0, 1), got " +
         std::to_string(spec.error_bound));
+  if (!spec.var_error_bounds.empty()) {
+    if (spec.name != "ebl")
+      throw std::invalid_argument(
+          "codec: per-variable error bounds require codec 'ebl', got '" +
+          spec.name + "'");
+    for (const double b : spec.var_error_bounds)
+      if (!(b > 0.0 && b < 1.0))
+        throw std::invalid_argument(
+            "codec: per-variable error bound must be in (0, 1), got " +
+            std::to_string(b));
+  }
   if (spec.throughput < 0.0)
     throw std::invalid_argument("codec: throughput must be >= 0 (0 = default)");
   if (spec.decode_throughput < 0.0)
@@ -315,6 +431,11 @@ std::unique_ptr<Codec> make_codec(const CodecSpec& spec) {
     return std::make_unique<LosslessCodec>(spec.throughput,
                                            spec.decode_throughput);
   AMRIO_ENSURES(spec.name == "ebl");
+  if (!spec.var_error_bounds.empty())
+    return std::make_unique<MultiVarEblCodec>(spec.var_error_bounds,
+                                              spec.throughput,
+                                              spec.decode_throughput,
+                                              spec.smoothness);
   return std::make_unique<EblCodec>(spec.error_bound, spec.throughput,
                                     spec.decode_throughput, spec.smoothness);
 }

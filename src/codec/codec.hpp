@@ -138,6 +138,11 @@ struct CodecSpec {
   std::string name = "identity";
   /// ebl: relative error bound in (0, 1).
   double error_bound = 1.0e-3;
+  /// ebl: optional per-variable error bounds (AMRIC-style: density may
+  /// tolerate a looser bound than pressure). When non-empty, each task
+  /// document is modeled as equal per-variable raw shares, each encoded
+  /// under its own bound; `error_bound` is ignored. Empty = uniform bound.
+  std::vector<double> var_error_bounds;
   /// Modeled encode throughput (bytes/sec); 0 = the codec's default.
   double throughput = 0.0;
   /// Modeled decode throughput (bytes/sec) for the restart read path; 0 =
@@ -153,6 +158,15 @@ struct CodecSpec {
 
 /// Registered codec names, in registry order: {"identity", "lossless", "ebl"}.
 const std::vector<std::string>& codec_names();
+
+/// Parse a comma-separated per-variable bound list ("1e-3,1e-5") into the
+/// CodecSpec::var_error_bounds form. Empty input → empty vector. Throws
+/// std::invalid_argument on malformed numbers or bounds outside (0, 1).
+std::vector<double> parse_var_bounds(const std::string& csv);
+
+/// Canonical string form of a bound list — the inverse of parse_var_bounds
+/// (%.17g, comma-separated), used by CLI round-trips and cache keys.
+std::string format_var_bounds(const std::vector<double>& bounds);
 
 /// Build a codec from its spec. Throws std::invalid_argument with a one-line
 /// message on an unknown name or an out-of-range error bound / throughput /

@@ -32,6 +32,7 @@ ValidationResult calibrate_and_validate(const RunRecord& run,
   params.output_dir = "macsio_" + run.config.name;
   params.codec = opts.codec;
   params.codec_error_bound = opts.codec_error_bound;
+  params.codec_var_bounds = opts.codec_var_bounds;
   params.codec_throughput = opts.codec_throughput;
   params.codec_decode_throughput = opts.codec_decode_throughput;
   params.restart = opts.restart;
@@ -75,6 +76,26 @@ ValidationResult calibrate_and_validate(const RunRecord& run,
   }
   result.mean_abs_rel_err = acc / static_cast<double>(result.sim_per_step.size());
   result.max_abs_rel_err = worst;
+  return result;
+}
+
+StudySweepResult study_sweep(const macsio::Params& base,
+                             const std::vector<StudyOptions>& variants,
+                             const campaign::ExecutorOptions& exec_opts) {
+  StudySweepResult result;
+  result.cells.reserve(variants.size());
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    campaign::CellConfig cell;
+    cell.name = "study/" + std::to_string(i) + "/" +
+                exec::engine_kind_name(variants[i].engine) + "/" +
+                variants[i].codec;
+    cell.params = base;
+    cell.study = variants[i];
+    result.cells.push_back(std::move(cell));
+  }
+  campaign::CampaignExecutor executor(exec_opts);
+  result.outcomes = executor.run(result.cells);
+  result.stats = executor.stats();
   return result;
 }
 

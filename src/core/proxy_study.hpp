@@ -5,46 +5,14 @@
 /// how well it reproduces the simulation's output workload — the comparison
 /// behind the paper's Figs. 9–11.
 
+#include "campaign/executor.hpp"
 #include "core/campaign.hpp"
+#include "core/study_options.hpp"
 #include "exec/engine.hpp"
 #include "macsio/driver.hpp"
 #include "model/translate.hpp"
 
 namespace amrio::core {
-
-/// Knobs that compose with the calibrated proxy replay — the study-level
-/// surface of `--engine`, the `--codec*` family, and `--restart`. The
-/// translation itself never depends on these (it prices raw bytes); they
-/// shape how the validated proxy is *executed*.
-struct StudyOptions {
-  /// Execution engine for the proxy replay. Serial is the calibration
-  /// default; kEvent unlocks machine-scale nprocs.
-  exec::EngineKind engine = exec::EngineKind::kSerial;
-  /// Compression model applied to task documents ("identity", "ebl", ...);
-  /// forwarded to macsio::Params::codec with the bound/throughput knobs.
-  std::string codec = "identity";
-  double codec_error_bound = 1.0e-3;
-  double codec_throughput = 0.0;
-  double codec_decode_throughput = 0.0;
-  /// Read the last dump back after the dump loop (checkpoint-restart) and
-  /// record the stats in ValidationResult::restart_stats.
-  bool restart = false;
-  /// Serve those restart reads through the burst-buffer tier.
-  bool restart_from_bb = false;
-  /// When non-empty, write a Chrome-trace/Perfetto JSON of the proxy replay's
-  /// virtual-time spans (dump/encode/ship, restart/scatter/decode) here —
-  /// ranks appear as threads, the driver as tid 0. See docs/OBSERVABILITY.md.
-  std::string trace_out;
-  /// When non-empty, write the metrics snapshot here (".csv" suffix selects
-  /// flat CSV, anything else pretty JSON).
-  std::string metrics_out;
-  /// When non-empty, write the predictive explain report (per-resource
-  /// what-if makespans at 1.5x/2x relief, shadow prices) of the proxy
-  /// replay's span DAG here as JSON. The study replays the driver only (no
-  /// PFS model), so the codec CPU and aggregation link are the resources
-  /// with leverage; rates default to plain 1/factor scaling.
-  std::string explain_out;
-};
 
 struct ValidationResult {
   model::TranslationResult translation;
@@ -74,5 +42,19 @@ ValidationResult calibrate_and_validate(const RunRecord& run,
                                         const StudyOptions& opts,
                                         double growth_lo = 1.0,
                                         double growth_hi = 1.15);
+
+/// A sharded sweep over study-option variants of one proxy configuration:
+/// each variant becomes a campaign cell {base params, variant}, executed
+/// through campaign::CampaignExecutor (work-stealing pool, result cache,
+/// optional JSON cache persistence — the --jobs/--cache surface). Outcomes
+/// align 1:1 with `variants`.
+struct StudySweepResult {
+  std::vector<campaign::CellConfig> cells;
+  std::vector<campaign::CellOutcome> outcomes;
+  campaign::ExecutorStats stats;
+};
+StudySweepResult study_sweep(const macsio::Params& base,
+                             const std::vector<StudyOptions>& variants,
+                             const campaign::ExecutorOptions& exec_opts = {});
 
 }  // namespace amrio::core

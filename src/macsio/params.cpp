@@ -35,6 +35,7 @@ codec::CodecSpec Params::codec_spec() const {
   codec::CodecSpec spec;
   spec.name = codec;
   spec.error_bound = codec_error_bound;
+  spec.var_error_bounds = codec::parse_var_bounds(codec_var_bounds);
   spec.throughput = codec_throughput;
   spec.decode_throughput = codec_decode_throughput;
   return spec;
@@ -100,6 +101,9 @@ Params Params::from_cli(const std::vector<std::string>& args) {
                  1, std::string("identity"));
   cli.add_option("codec_error_bound", "relative error bound for --codec ebl",
                  1, std::string("1e-3"));
+  cli.add_option("codec_var_bounds",
+                 "comma-separated per-variable error bounds for --codec ebl",
+                 1, std::string(""));
   cli.add_option("codec_throughput",
                  "modeled encode throughput (bytes/s); 0 = codec default", 1,
                  std::string("0"));
@@ -154,6 +158,7 @@ Params Params::from_cli(const std::vector<std::string>& args) {
                                 "' (expected none|bb)");
   p.codec = util::to_lower(cli.get("codec"));
   p.codec_error_bound = cli.get_double("codec_error_bound");
+  p.codec_var_bounds = cli.get("codec_var_bounds");
   p.codec_throughput = cli.get_double("codec_throughput");
   p.codec_decode_throughput = cli.get_double("codec_decode_throughput");
   p.restart = cli.flag("restart");
@@ -205,6 +210,9 @@ std::vector<std::string> Params::to_cli() const {
   if (codec != "identity") {
     push("codec", codec);
     push("codec_error_bound", util::format_g(codec_error_bound, 17));
+    if (!codec_var_bounds.empty())
+      push("codec_var_bounds",
+           codec::format_var_bounds(codec::parse_var_bounds(codec_var_bounds)));
     push("codec_throughput", util::format_g(codec_throughput, 17));
     push("codec_decode_throughput",
          util::format_g(codec_decode_throughput, 17));

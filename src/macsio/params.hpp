@@ -61,6 +61,10 @@ struct Params {
   std::string codec = "identity";
   /// --codec_error_bound: relative error bound in (0, 1) for --codec ebl.
   double codec_error_bound = 1.0e-3;
+  /// --codec_var_bounds: comma-separated per-variable error bounds for
+  /// --codec ebl ("1e-3,1e-5" = density loose, pressure tight). Non-empty
+  /// supersedes --codec_error_bound; empty = uniform bound.
+  std::string codec_var_bounds;
   /// --codec_throughput: modeled encode throughput (bytes/sec); 0 = the
   /// codec's default.
   double codec_throughput = 0.0;
@@ -99,6 +103,7 @@ struct Params {
   ///   --compute_time 0.5 --meta_size 4K --dataset_growth 1.013
   ///   --aggregators 8 --agg_link_bw 1.25e10 --staging none|bb
   ///   --codec identity|lossless|ebl --codec_error_bound 1e-3
+  ///   --codec_var_bounds 1e-3,1e-5
   ///   --codec_throughput 3e9 --codec_decode_throughput 6e9
   ///   --restart --read_staging none|bb --prefetch 4
   ///   --nprocs N --output_dir path --fill real|sized --seed S

@@ -60,4 +60,74 @@ PowerFit fit_power(std::span<const double> x, std::span<const double> y) {
   return pf;
 }
 
+MultiFit fit_multilinear(std::span<const std::vector<double>> rows,
+                         std::span<const double> y) {
+  AMRIO_EXPECTS(rows.size() == y.size());
+  AMRIO_EXPECTS_MSG(!rows.empty(), "fit_multilinear needs observations");
+  const std::size_t nfeat = rows.front().size();
+  for (const auto& row : rows)
+    AMRIO_EXPECTS_MSG(row.size() == nfeat,
+                      "fit_multilinear rows must share a length");
+  const std::size_t dim = nfeat + 1;  // intercept column
+  AMRIO_EXPECTS_MSG(rows.size() >= dim,
+                    "fit_multilinear needs >= nfeatures + 1 observations");
+
+  // Normal equations: (XᵀX)β = Xᵀy with X = [1 | rows].
+  std::vector<double> xtx(dim * dim, 0.0);
+  std::vector<double> xty(dim, 0.0);
+  std::vector<double> xi(dim, 1.0);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t j = 0; j < nfeat; ++j) xi[j + 1] = rows[i][j];
+    for (std::size_t r = 0; r < dim; ++r) {
+      xty[r] += xi[r] * y[i];
+      for (std::size_t c = 0; c < dim; ++c) xtx[r * dim + c] += xi[r] * xi[c];
+    }
+  }
+
+  // Gaussian elimination with partial pivoting on the augmented system.
+  std::vector<double> beta = xty;
+  for (std::size_t col = 0; col < dim; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < dim; ++r)
+      if (std::abs(xtx[r * dim + col]) > std::abs(xtx[pivot * dim + col]))
+        pivot = r;
+    AMRIO_EXPECTS_MSG(std::abs(xtx[pivot * dim + col]) > 1e-12,
+                      "fit_multilinear design matrix is singular");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < dim; ++c)
+        std::swap(xtx[pivot * dim + c], xtx[col * dim + c]);
+      std::swap(beta[pivot], beta[col]);
+    }
+    for (std::size_t r = col + 1; r < dim; ++r) {
+      const double f = xtx[r * dim + col] / xtx[col * dim + col];
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < dim; ++c)
+        xtx[r * dim + c] -= f * xtx[col * dim + c];
+      beta[r] -= f * beta[col];
+    }
+  }
+  for (std::size_t col = dim; col-- > 0;) {
+    for (std::size_t c = col + 1; c < dim; ++c)
+      beta[col] -= xtx[col * dim + c] * beta[c];
+    beta[col] /= xtx[col * dim + col];
+  }
+
+  MultiFit fit;
+  fit.beta = std::move(beta);
+  double sy = 0.0;
+  for (const double v : y) sy += v;
+  const double mean_y = sy / static_cast<double>(y.size());
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    double pred = fit.beta[0];
+    for (std::size_t j = 0; j < nfeat; ++j) pred += fit.beta[j + 1] * rows[i][j];
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - mean_y) * (y[i] - mean_y);
+  }
+  fit.r2 = (ss_tot > 0.0) ? 1.0 - ss_res / ss_tot : 1.0;
+  fit.rmse = std::sqrt(ss_res / static_cast<double>(y.size()));
+  return fit;
+}
+
 }  // namespace amrio::model

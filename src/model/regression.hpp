@@ -6,6 +6,7 @@
 /// the Eq. (3) correction factor.
 
 #include <span>
+#include <vector>
 
 namespace amrio::model {
 
@@ -27,5 +28,21 @@ struct PowerFit {
   double r2 = 0.0;
 };
 PowerFit fit_power(std::span<const double> x, std::span<const double> y);
+
+/// Multi-feature OLS fit: y ≈ beta[0] + Σ beta[1+j]·row[j]. Backs the
+/// campaign predict service, where Eq. (3)'s single-knob correction factor
+/// generalizes to a small feature vector (log bytes, log ranks, ...).
+struct MultiFit {
+  std::vector<double> beta;  ///< intercept first, then one weight per feature
+  double r2 = 0.0;
+  double rmse = 0.0;
+};
+
+/// Fit y against `rows` (one feature vector per observation; all rows must
+/// share a length). Solves the normal equations by Gaussian elimination with
+/// partial pivoting. Requires rows.size() == y.size() >= nfeatures + 1 and a
+/// non-singular design; throws ContractViolation otherwise.
+MultiFit fit_multilinear(std::span<const std::vector<double>> rows,
+                         std::span<const double> y);
 
 }  // namespace amrio::model

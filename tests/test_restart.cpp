@@ -65,7 +65,12 @@ TEST(RestagePlan, FlatPlanSlicesEveryRankAtItsOffset) {
 
 TEST(RestagePlan, AggregatedPlanReadsThroughAggregators) {
   const auto topo = st::AggTopology::make(8, 2);
-  const auto codec = cd::make_codec({"ebl", 1e-3, 1.0e9, 0.0, 0.8});
+  cd::CodecSpec spec;
+  spec.name = "ebl";
+  spec.error_bound = 1e-3;
+  spec.throughput = 1.0e9;
+  spec.smoothness = 0.8;
+  const auto codec = cd::make_codec(spec);
   std::vector<std::string> files;
   std::vector<std::uint64_t> sizes;
   for (int r = 0; r < 8; ++r) {
